@@ -1,0 +1,67 @@
+"""E5: per-heuristic ablation of the three optimizations (+ extensions).
+
+Each of the paper's heuristics is added to the baseline alone and
+removed from the full configuration, measuring its marginal value.
+Output: ``benchmarks/_results/ablation.txt``.
+"""
+
+from conftest import write_result
+
+
+def test_heuristic_ablation(machine, nisq_circuits, results_dir, benchmark):
+    from repro.eval.ablation import heuristic_ablation, render_sweep
+
+    circuits = list(nisq_circuits.values())
+    points = benchmark.pedantic(
+        lambda: heuristic_ablation(circuits, machine),
+        rounds=1,
+        iterations=1,
+    )
+    text = "E5: per-heuristic ablation (NISQ suite means)\n"
+    text += render_sweep(points, "variant")
+    write_result(results_dir, "ablation.txt", text)
+
+    by_label = {p.label: p for p in points}
+    baseline = by_label["baseline [7]"].mean_shuttles
+    full = by_label["full (this work)"].mean_shuttles
+    # The full configuration beats the baseline on average...
+    assert full < baseline
+    # ...and the future-ops direction policy is the dominant heuristic.
+    future_only = by_label["+future-ops"].mean_shuttles
+    assert future_only < baseline
+
+
+def test_topology_sweep(machine, results_dir):
+    """Extension: the same comparison on ring and grid interconnects."""
+    from repro.arch.presets import grid_machine, linear_machine, ring_machine
+    from repro.bench.qft import qft_circuit
+    from repro.bench.random_circuits import random_circuit
+    from repro.eval.harness import compare
+    from repro.eval.report import render_table
+
+    circuits = [
+        qft_circuit(),
+        random_circuit(64, 1000, seed=17),
+    ]
+    rows = []
+    for machine_variant in (
+        linear_machine(6),
+        ring_machine(6),
+        grid_machine(2, 3),
+    ):
+        for circuit in circuits:
+            comparison = compare(circuit, machine_variant, simulate=False)
+            rows.append(
+                [
+                    machine_variant.topology.name,
+                    circuit.name,
+                    comparison.baseline.num_shuttles,
+                    comparison.optimized.num_shuttles,
+                    f"{comparison.shuttle_reduction_percent:.1f}%",
+                ]
+            )
+    text = "Topology sweep (extension)\n" + render_table(
+        ["topology", "circuit", "[7]", "this work", "reduction"], rows
+    )
+    write_result(results_dir, "topology_sweep.txt", text)
+    assert len(rows) == 6

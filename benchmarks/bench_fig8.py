@@ -1,0 +1,53 @@
+"""Fig. 8 regeneration: program-fidelity improvement.
+
+Simulates both compiled schedules of every suite circuit under the
+calibrated heating/fidelity model and reports F_thiswork / F_[7].  The
+rendered figure (table + ASCII bars) lands in
+``benchmarks/_results/fig8.txt``.
+"""
+
+from conftest import write_result
+
+
+def test_fig8_improvements_positive(suite_comparisons, results_dir):
+    """Every NISQ benchmark must improve (the paper's bars are all > 1)."""
+    from repro.eval.figure8 import build_figure8, render_figure8
+
+    bars = build_figure8(suite_comparisons)
+    text = render_figure8(suite_comparisons)
+    write_result(results_dir, "fig8.txt", text)
+
+    for bar in bars:
+        assert bar.improvement > 1.0, f"{bar.benchmark} regressed"
+
+    # Dynamic-range shape: the paper spans 1.25X .. 22.68X.
+    peak = max(bar.improvement for bar in bars)
+    floor = min(bar.improvement for bar in bars)
+    assert peak > 2.0
+    assert floor > 1.0
+
+
+def test_fig8_correlates_with_shuttle_savings(suite_comparisons):
+    """Section IV-C: benchmarks that save more shuttle-heating see more
+    fidelity improvement.  Check rank agreement loosely (Spearman-ish:
+    the top saver must beat the bottom saver)."""
+    nisq = [c for c in suite_comparisons if not c.is_random]
+    by_delta = sorted(nisq, key=lambda c: c.shuttle_delta)
+    assert (
+        by_delta[-1].fidelity_improvement
+        > by_delta[0].fidelity_improvement
+    )
+
+
+def test_fig8_simulation_is_deterministic(machine, nisq_circuits, benchmark):
+    """Simulating the same schedule twice gives identical fidelity."""
+    from repro.eval.harness import compare
+
+    circuit = nisq_circuits["Supremacy"]
+    first = compare(circuit, machine, simulate=True)
+    second = benchmark.pedantic(
+        lambda: compare(circuit, machine, simulate=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert first.fidelity_improvement == second.fidelity_improvement

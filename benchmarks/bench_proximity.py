@@ -1,0 +1,56 @@
+"""E4: the gate-proximity design-parameter study (Section III-A3).
+
+The paper: "The distance should not be too low ... and should not be
+too high ... setting the proximity parameter to 6 provides good
+results."  This bench sweeps the parameter over the NISQ suite (both
+distance metrics) and asserts the paper's qualitative finding: the
+mid-range beats both extremes.  Output:
+``benchmarks/_results/proximity_sweep.txt``.
+"""
+
+from conftest import write_result
+
+SWEEP = (0, 2, 6, 12, None)
+
+
+def test_proximity_sweep(machine, nisq_circuits, results_dir, benchmark):
+    from repro.eval.ablation import proximity_sweep, render_sweep
+
+    circuits = list(nisq_circuits.values())
+    points = benchmark.pedantic(
+        lambda: proximity_sweep(circuits, machine, values=SWEEP),
+        rounds=1,
+        iterations=1,
+    )
+    text = "E4: shuttles vs gate-proximity (layer metric, NISQ suite)\n"
+    text += render_sweep(points, "proximity")
+    write_result(results_dir, "proximity_sweep.txt", text)
+
+    by_label = {p.label: p.mean_reduction_percent for p in points}
+    # The paper's design point (6) must beat a tiny window...
+    assert by_label["6"] >= by_label["0"]
+    # ...and must not be dominated by unbounded look-ahead.
+    assert by_label["6"] >= by_label["inf"] - 1.0
+
+
+def test_metric_comparison(machine, nisq_circuits, results_dir):
+    """Layer-distance vs literal gate-distance reading of Fig. 5."""
+    from repro.eval.ablation import proximity_sweep, render_sweep
+
+    circuits = list(nisq_circuits.values())
+    layer_points = proximity_sweep(
+        circuits, machine, values=(6,), metric="layers"
+    )
+    gate_points = proximity_sweep(
+        circuits, machine, values=(6,), metric="gates"
+    )
+    text = "proximity=6, layer metric:\n"
+    text += render_sweep(layer_points, "proximity")
+    text += "\n\nproximity=6, gate metric:\n"
+    text += render_sweep(gate_points, "proximity")
+    write_result(results_dir, "proximity_metric.txt", text)
+    # The layer metric is the default because it wins on this suite.
+    assert (
+        layer_points[0].mean_reduction_percent
+        >= gate_points[0].mean_reduction_percent
+    )

@@ -1,0 +1,62 @@
+"""Table II regeneration: reduction in the number of shuttles.
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only``.  The
+timed quantity is the optimized compiler on each NISQ benchmark; the
+assertions check the paper's claims (fewer shuttles on every circuit);
+the rendered table lands in ``benchmarks/_results/table2.txt``.
+"""
+
+import pytest
+
+from conftest import write_result
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["Supremacy", "QAOA", "SquareRoot", "QFT", "QuadraticForm"],
+)
+def test_table2_nisq_row(benchmark, machine, nisq_circuits, name):
+    """Compile one NISQ benchmark with this work's compiler (timed) and
+    check the shuttle reduction against the baseline."""
+    from repro.compiler.compiler import QCCDCompiler
+    from repro.compiler.config import CompilerConfig
+    from repro.compiler.mapping import greedy_initial_mapping
+
+    circuit = nisq_circuits[name]
+    chains = greedy_initial_mapping(circuit, machine)
+    baseline = QCCDCompiler(machine, CompilerConfig.baseline()).compile(
+        circuit, initial_chains=chains
+    )
+
+    compiler = QCCDCompiler(machine, CompilerConfig.optimized())
+    result = benchmark.pedantic(
+        lambda: compiler.compile(circuit, initial_chains=chains),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["baseline_shuttles"] = baseline.num_shuttles
+    benchmark.extra_info["optimized_shuttles"] = result.num_shuttles
+    # The paper's stability claim: strictly fewer shuttles per circuit.
+    assert result.num_shuttles < baseline.num_shuttles
+
+
+def test_table2_full_table(benchmark, suite_comparisons, results_dir):
+    """Render the complete Table II (NISQ + random ensemble)."""
+    from repro.eval.table2 import (
+        overall_reduction,
+        render_table2,
+        wins_everywhere,
+    )
+
+    text = benchmark.pedantic(
+        lambda: render_table2(suite_comparisons), rounds=1, iterations=1
+    )
+    text += (
+        f"\n\naverage reduction: {overall_reduction(suite_comparisons):.1f}%"
+        f"\nfewer shuttles on every circuit: "
+        f"{wins_everywhere(suite_comparisons)}"
+    )
+    write_result(results_dir, "table2.txt", text)
+    assert wins_everywhere(suite_comparisons)
+    assert overall_reduction(suite_comparisons) > 5.0

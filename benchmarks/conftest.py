@@ -1,0 +1,54 @@
+"""Shared fixtures for the regeneration benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Results are written to ``benchmarks/_results/`` so the artefacts survive
+the run; set ``REPRO_FULL=1`` to use the complete 120-circuit random
+ensemble (the default uses 3 circuits per size to stay fast).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def machine():
+    from repro.arch.presets import l6_machine
+
+    return l6_machine()
+
+
+@pytest.fixture(scope="session")
+def nisq_circuits():
+    from repro.bench.suite import nisq_suite
+
+    return {circuit.name: circuit for circuit in nisq_suite()}
+
+
+@pytest.fixture(scope="session")
+def suite_comparisons(machine):
+    """One shared compile+simulate pass over the whole suite."""
+    from repro.eval.harness import run_suite
+
+    return run_suite(machine=machine, simulate=True, full=None)
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

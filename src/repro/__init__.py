@@ -1,0 +1,97 @@
+"""repro — reproduction of "Muzzle the Shuttle" (DATE 2022).
+
+Shuttle-efficient compilation for multi-trap trapped-ion (QCCD) quantum
+computers: the paper's three compiler heuristics (future-ops shuttle
+direction, opportunistic gate re-ordering, nearest-neighbour-first
+re-balancing), the Murali et al. ISCA'20 baseline compiler they improve
+upon, a QCCD heating/fidelity simulator, the paper's benchmark suite,
+and harnesses regenerating Table II, Table III and Fig. 8.
+
+Quickstart::
+
+    from repro import Circuit, CompilerConfig, compile_circuit, l6_machine
+
+    circuit = Circuit(6).add("ms", 0, 1).add("ms", 2, 3).add("ms", 2, 0)
+    machine = l6_machine()
+    result = compile_circuit(circuit, machine, CompilerConfig.optimized())
+    print(result.num_shuttles)
+"""
+
+from .arch import (
+    QCCDMachine,
+    TrapSpec,
+    TrapTopology,
+    grid_machine,
+    grid_topology,
+    l6_machine,
+    linear_machine,
+    linear_topology,
+    ring_machine,
+    ring_topology,
+    uniform_machine,
+)
+from .circuits import (
+    Circuit,
+    DependencyDAG,
+    Gate,
+    circuit_to_qasm,
+    decompose_circuit,
+    dump_qasm,
+    load_qasm,
+    parse_qasm,
+)
+from .compiler import (
+    CompilationError,
+    CompilationResult,
+    CompilerConfig,
+    QCCDCompiler,
+    compile_and_simulate,
+    compile_circuit,
+    greedy_initial_mapping,
+)
+from .sim import (
+    MachineParams,
+    NoiseParams,
+    Schedule,
+    SimulationReport,
+    Simulator,
+    TimingParams,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CompilationError",
+    "CompilationResult",
+    "CompilerConfig",
+    "DependencyDAG",
+    "Gate",
+    "MachineParams",
+    "NoiseParams",
+    "QCCDCompiler",
+    "QCCDMachine",
+    "Schedule",
+    "SimulationReport",
+    "Simulator",
+    "TimingParams",
+    "TrapSpec",
+    "TrapTopology",
+    "__version__",
+    "circuit_to_qasm",
+    "compile_and_simulate",
+    "compile_circuit",
+    "decompose_circuit",
+    "dump_qasm",
+    "greedy_initial_mapping",
+    "grid_machine",
+    "grid_topology",
+    "l6_machine",
+    "linear_machine",
+    "linear_topology",
+    "load_qasm",
+    "parse_qasm",
+    "ring_machine",
+    "ring_topology",
+    "uniform_machine",
+]

@@ -1,0 +1,55 @@
+"""Machine presets matching the paper and QCCDSim.
+
+The paper evaluates on the "L6" configuration of Murali et al. [7]:
+6 traps in a line, total capacity 17 per trap, communication capacity 2
+per trap (Section IV-A, "Hardware model").
+"""
+
+from __future__ import annotations
+
+from .machine import QCCDMachine, uniform_machine
+from .topology import grid_topology, linear_topology, ring_topology
+
+#: Paper defaults (Section IV-A).
+L6_TRAPS = 6
+L6_CAPACITY = 17
+L6_COMM_CAPACITY = 2
+
+
+def l6_machine(
+    capacity: int = L6_CAPACITY, comm_capacity: int = L6_COMM_CAPACITY
+) -> QCCDMachine:
+    """The paper's evaluation machine: 6 linear traps, 17/2 capacity."""
+    return uniform_machine(
+        linear_topology(L6_TRAPS), capacity, comm_capacity, name="L6"
+    )
+
+
+def linear_machine(
+    num_traps: int,
+    capacity: int = L6_CAPACITY,
+    comm_capacity: int = L6_COMM_CAPACITY,
+) -> QCCDMachine:
+    """A linear machine of arbitrary length (QCCDSim's L2/L3/L6 family)."""
+    return uniform_machine(
+        linear_topology(num_traps), capacity, comm_capacity
+    )
+
+
+def ring_machine(
+    num_traps: int,
+    capacity: int = L6_CAPACITY,
+    comm_capacity: int = L6_COMM_CAPACITY,
+) -> QCCDMachine:
+    """A ring machine (topology-sweep extension)."""
+    return uniform_machine(ring_topology(num_traps), capacity, comm_capacity)
+
+
+def grid_machine(
+    rows: int,
+    cols: int,
+    capacity: int = L6_CAPACITY,
+    comm_capacity: int = L6_COMM_CAPACITY,
+) -> QCCDMachine:
+    """A grid machine (QCCDSim's G2x3-style configuration)."""
+    return uniform_machine(grid_topology(rows, cols), capacity, comm_capacity)

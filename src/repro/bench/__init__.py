@@ -1,0 +1,64 @@
+"""Benchmark circuit generators matching the paper's suite."""
+
+from .arithmetic import (
+    adder_circuit,
+    majority,
+    mct_vchain,
+    mcz_vchain,
+    ripple_adder,
+    ripple_subtractor,
+    run_classical,
+    unmajority,
+)
+from .qaoa import qaoa_circuit, qaoa_path_circuit, random_regular_graph
+from .qft import qft_circuit
+from .quadraticform import quadratic_form_circuit
+from .random_circuits import (
+    PAPER_CIRCUITS_PER_SIZE,
+    PAPER_MEAN_GATES,
+    PAPER_SIZES,
+    paper_random_suite,
+    random_circuit,
+)
+from .squareroot import squareroot_circuit
+from .suite import (
+    PAPER_FIG8_IMPROVEMENT,
+    PAPER_NISQ_SIZES,
+    PAPER_TABLE2_SHUTTLES,
+    PAPER_TABLE3_SECONDS,
+    full_random_requested,
+    nisq_suite,
+    paper_suite,
+)
+from .supremacy import supremacy_circuit, supremacy_patterns
+
+__all__ = [
+    "PAPER_CIRCUITS_PER_SIZE",
+    "PAPER_FIG8_IMPROVEMENT",
+    "PAPER_MEAN_GATES",
+    "PAPER_NISQ_SIZES",
+    "PAPER_SIZES",
+    "PAPER_TABLE2_SHUTTLES",
+    "PAPER_TABLE3_SECONDS",
+    "adder_circuit",
+    "full_random_requested",
+    "majority",
+    "mct_vchain",
+    "mcz_vchain",
+    "nisq_suite",
+    "paper_random_suite",
+    "paper_suite",
+    "qaoa_circuit",
+    "qaoa_path_circuit",
+    "qft_circuit",
+    "quadratic_form_circuit",
+    "random_circuit",
+    "random_regular_graph",
+    "ripple_adder",
+    "ripple_subtractor",
+    "run_classical",
+    "squareroot_circuit",
+    "supremacy_circuit",
+    "supremacy_patterns",
+    "unmajority",
+]

@@ -1,0 +1,162 @@
+"""Reversible-arithmetic building blocks.
+
+Substrate for the SquareRoot benchmark (and reusable for any arithmetic
+workload): the Cuccaro/CDKM ripple-carry adder built from MAJ/UMA cells,
+and V-chain multi-controlled gates.  Everything is expressed in
+{x, cx, ccx}, so circuits built from these blocks are classical
+reversible networks — the test suite verifies them by running the gate
+stream on classical basis states (see ``tests/test_arithmetic.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.gate import Gate
+
+
+def majority(a: int, b: int, c: int) -> Iterator[Gate]:
+    """MAJ cell of the Cuccaro adder (Cuccaro et al. 2004)."""
+    yield Gate("cx", (c, b))
+    yield Gate("cx", (c, a))
+    yield Gate("ccx", (a, b, c))
+
+
+def unmajority(a: int, b: int, c: int) -> Iterator[Gate]:
+    """UMA (2-CNOT version) cell of the Cuccaro adder."""
+    yield Gate("ccx", (a, b, c))
+    yield Gate("cx", (c, a))
+    yield Gate("cx", (a, b))
+
+
+def ripple_adder(
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    carry_in: int,
+    carry_out: int | None = None,
+) -> Iterator[Gate]:
+    """Cuccaro ripple-carry adder: ``b += a`` (mod 2^n without carry_out).
+
+    ``a_bits``/``b_bits`` are LSB-first.  ``carry_in`` must be a clean
+    ancilla (restored to 0).  With ``carry_out`` the final carry is
+    XORed onto that qubit.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("register widths differ")
+    n = len(a_bits)
+    if n == 0:
+        return
+    yield from majority(carry_in, b_bits[0], a_bits[0])
+    for i in range(1, n):
+        yield from majority(a_bits[i - 1], b_bits[i], a_bits[i])
+    if carry_out is not None:
+        yield Gate("cx", (a_bits[-1], carry_out))
+    for i in range(n - 1, 0, -1):
+        yield from unmajority(a_bits[i - 1], b_bits[i], a_bits[i])
+    yield from unmajority(carry_in, b_bits[0], a_bits[0])
+
+
+def ripple_subtractor(
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    carry_in: int,
+    carry_out: int | None = None,
+) -> Iterator[Gate]:
+    """``b -= a`` (two's complement) via X-conjugated addition.
+
+    b - a = ~(~b + a); the borrow appears (inverted) on ``carry_out``.
+    """
+    for q in b_bits:
+        yield Gate("x", (q,))
+    yield from ripple_adder(a_bits, b_bits, carry_in, carry_out)
+    for q in b_bits:
+        yield Gate("x", (q,))
+
+
+def mct_vchain(
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> Iterator[Gate]:
+    """Multi-controlled X via the standard Toffoli V-chain.
+
+    Requires ``len(controls) - 2`` ancillas for >2 controls.  The chain
+    computes the AND of all controls into the last ancilla, applies a
+    CX onto the target, then uncomputes — 2(k-2) + 1 Toffolis for k
+    controls.
+    """
+    k = len(controls)
+    if k == 0:
+        yield Gate("x", (target,))
+        return
+    if k == 1:
+        yield Gate("cx", (controls[0], target))
+        return
+    if k == 2:
+        yield Gate("ccx", (controls[0], controls[1], target))
+        return
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise ValueError(
+            f"{k}-control Toffoli needs {needed} ancillas, got {len(ancillas)}"
+        )
+    work = list(ancillas[:needed])
+    uncompute: list[Gate] = []
+
+    first = Gate("ccx", (controls[0], controls[1], work[0]))
+    yield first
+    uncompute.append(first)
+    for i in range(2, k - 1):
+        gate = Gate("ccx", (controls[i], work[i - 2], work[i - 1]))
+        yield gate
+        uncompute.append(gate)
+    yield Gate("ccx", (controls[-1], work[-1], target))
+    for gate in reversed(uncompute):
+        yield gate
+
+
+def mcz_vchain(
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int],
+) -> Iterator[Gate]:
+    """Multi-controlled Z: H-conjugated :func:`mct_vchain`."""
+    yield Gate("h", (target,))
+    yield from mct_vchain(controls, target, ancillas)
+    yield Gate("h", (target,))
+
+
+def run_classical(gates, num_qubits: int, input_bits: int) -> int:
+    """Evaluate an {x, cx, ccx}-only gate stream on a basis state.
+
+    Bit ``q`` of the integer state corresponds to qubit ``q``.  Used by
+    tests to verify the arithmetic blocks without matrix exponentials.
+    """
+    state = input_bits
+    for gate in gates:
+        if gate.name == "x":
+            state ^= 1 << gate.qubits[0]
+        elif gate.name in ("cx", "cnot"):
+            control, targ = gate.qubits
+            if state >> control & 1:
+                state ^= 1 << targ
+        elif gate.name in ("ccx", "toffoli"):
+            c1, c2, targ = gate.qubits
+            if (state >> c1 & 1) and (state >> c2 & 1):
+                state ^= 1 << targ
+        else:
+            raise ValueError(f"non-classical gate {gate.name!r}")
+    if state >= 1 << num_qubits:
+        raise ValueError("state exceeded register width")
+    return state
+
+
+def adder_circuit(n_bits: int) -> Circuit:
+    """Standalone ``b += a`` circuit (layout: a | b | carry)."""
+    a = list(range(n_bits))
+    b = list(range(n_bits, 2 * n_bits))
+    carry = 2 * n_bits
+    circuit = Circuit(2 * n_bits + 1, name=f"adder{n_bits}")
+    circuit.extend(ripple_adder(a, b, carry))
+    return circuit

@@ -1,0 +1,94 @@
+"""QAOA MaxCut benchmark (Table II row 2).
+
+The paper reports QAOA with 64 qubits and 1260 two-qubit gates.  The
+QCCDSim suite uses QAOA for MaxCut on random regular graphs; with a
+random 3-regular graph on 64 vertices (96 edges) and the standard
+ZZ-interaction lowering of 2 CNOTs (2 MS gates) per edge per round,
+7 rounds give 1344 two-qubit gates — the closest round count to the
+paper's 1260 (within 7%).  An exact-count preset using a 63-edge path
+graph is also provided; the random-graph instance is the default since
+its scattered interactions match the paper's reported shuttle-to-gate
+ratio (1552 shuttles for 1260 gates on the baseline compiler).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..circuits.circuit import Circuit
+from ..circuits.decompose import decompose_circuit
+from ..circuits.gate import Gate
+
+
+def random_regular_graph(
+    num_vertices: int, degree: int, seed: int = 7
+) -> list[tuple[int, int]]:
+    """Sample a random d-regular graph via the configuration model.
+
+    Re-samples on self-loops or duplicate edges, so the result is a
+    simple graph.  Deterministic for a given seed.
+    """
+    if num_vertices * degree % 2 != 0:
+        raise ValueError("num_vertices * degree must be even")
+    rng = random.Random(seed)
+    while True:
+        stubs = [v for v in range(num_vertices) for _ in range(degree)]
+        rng.shuffle(stubs)
+        edges: set[tuple[int, int]] = set()
+        valid = True
+        for i in range(0, len(stubs), 2):
+            a, b = stubs[i], stubs[i + 1]
+            if a == b or (min(a, b), max(a, b)) in edges:
+                valid = False
+                break
+            edges.add((min(a, b), max(a, b)))
+        if valid:
+            return sorted(edges)
+
+
+def qaoa_circuit(
+    num_qubits: int = 64,
+    rounds: int = 7,
+    degree: int = 3,
+    seed: int = 7,
+    gamma: float = 0.42,
+    beta: float = 0.27,
+    native: bool = True,
+    with_single_qubit: bool = False,
+    edges: list[tuple[int, int]] | None = None,
+) -> Circuit:
+    """Build a QAOA MaxCut circuit on a random regular graph.
+
+    Each round applies exp(-i gamma Z.Z) per edge (2 CNOTs + RZ) and an
+    RX mixer per qubit.  ``edges`` overrides the random graph.
+    """
+    if edges is None:
+        edges = random_regular_graph(num_qubits, degree, seed)
+    circuit = Circuit(num_qubits, name="QAOA")
+    if with_single_qubit:
+        for q in range(num_qubits):
+            circuit.append(Gate("h", (q,)))
+    for _ in range(rounds):
+        for a, b in edges:
+            # ZZ(gamma) = CX . RZ(2 gamma) . CX  (2 two-qubit gates)
+            circuit.append(Gate("cx", (a, b)))
+            circuit.append(Gate("rz", (b,), (2.0 * gamma,)))
+            circuit.append(Gate("cx", (a, b)))
+        if with_single_qubit:
+            for q in range(num_qubits):
+                circuit.append(Gate("rx", (q,), (2.0 * beta,)))
+    if native:
+        return decompose_circuit(circuit, keep_one_qubit=with_single_qubit)
+    return circuit
+
+
+def qaoa_path_circuit(
+    num_qubits: int = 64, rounds: int = 10, native: bool = True
+) -> Circuit:
+    """Exact-gate-count preset: path graph, 63 edges x 2 MS x 10 = 1260."""
+    edges = [(q, q + 1) for q in range(num_qubits - 1)]
+    circuit = qaoa_circuit(
+        num_qubits, rounds=rounds, native=native, edges=edges
+    )
+    circuit.name = "QAOA-path"
+    return circuit

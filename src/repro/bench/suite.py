@@ -1,0 +1,86 @@
+"""The paper's benchmark suite (Section IV-A), assembled.
+
+``nisq_suite()`` returns the five named benchmarks with the paper's
+sizes; ``paper_suite()`` adds the random ensemble (120 circuits when
+``full=True``, a 12-circuit sample otherwise — set the environment
+variable ``REPRO_FULL=1`` to default to the full ensemble).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..circuits.circuit import Circuit
+from .qaoa import qaoa_circuit
+from .qft import qft_circuit
+from .quadraticform import quadratic_form_circuit
+from .random_circuits import paper_random_suite
+from .squareroot import squareroot_circuit
+from .supremacy import supremacy_circuit
+
+#: Paper-reported (qubits, 2q gates) per NISQ benchmark, for validation.
+PAPER_NISQ_SIZES = {
+    "Supremacy": (64, 560),
+    "QAOA": (64, 1260),
+    "SquareRoot": (78, 1028),
+    "QFT": (64, 4032),
+    "QuadraticForm": (64, 3400),
+}
+
+#: Paper Table II shuttle counts: name -> (baseline [7], this work).
+PAPER_TABLE2_SHUTTLES = {
+    "Supremacy": (365, 223),
+    "QAOA": (1552, 957),
+    "SquareRoot": (717, 355),
+    "QFT": (241, 196),
+    "QuadraticForm": (228, 164),
+    "Random": (1048, 775),
+}
+
+#: Paper Fig. 8 fidelity improvements (x).
+PAPER_FIG8_IMPROVEMENT = {
+    "Supremacy": 1.25,
+    "QAOA": 22.68,
+    "SquareRoot": 3.21,
+    "QFT": 1.47,
+    "QuadraticForm": 1.28,
+    "Random": 3.22,
+}
+
+#: Paper Table III compile times in seconds: name -> (this work, [7]).
+PAPER_TABLE3_SECONDS = {
+    "Supremacy": (2.6, 1.1),
+    "QAOA": (12.99, 3.88),
+    "SquareRoot": (6.29, 1.83),
+    "QFT": (18.42, 4.22),
+    "QuadraticForm": (24.55, 3.74),
+    "Random": (19.15, 3.53),
+}
+
+
+def nisq_suite() -> list[Circuit]:
+    """The five named NISQ benchmarks at paper sizes."""
+    return [
+        supremacy_circuit(),
+        qaoa_circuit(),
+        squareroot_circuit(),
+        qft_circuit(),
+        quadratic_form_circuit(),
+    ]
+
+
+def full_random_requested() -> bool:
+    """True when REPRO_FULL=1 asks for the complete 120-circuit ensemble."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def paper_suite(full: bool | None = None) -> list[Circuit]:
+    """NISQ benchmarks plus the random ensemble.
+
+    ``full=None`` consults ``REPRO_FULL``; the reduced ensemble keeps
+    3 circuits per size (12 total) so the default harness stays fast.
+    """
+    if full is None:
+        full = full_random_requested()
+    per_size = 30 if full else 3
+    return nisq_suite() + paper_random_suite(circuits_per_size=per_size)

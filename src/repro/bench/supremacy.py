@@ -1,0 +1,86 @@
+"""Google quantum-supremacy-style benchmark (Table II row 1).
+
+The paper uses the "circuit from Google's supremacy experiment" of the
+QCCDSim suite: 64 qubits, 560 two-qubit gates, nearest-neighbour gate
+pattern on a 2-D grid.  This generator reproduces that structure: an
+8x8 qubit grid, CZ layers alternating between the four half-patterns
+(even/odd horizontal pairs, even/odd vertical pairs — the Boixo et
+al. scheduling discipline), 20 cycles x 28 CZs = 560 two-qubit gates
+after decomposition (each CZ lowers to one MS gate).
+
+Qubits are numbered row-major, so horizontal neighbours are 1 apart and
+vertical neighbours are ``cols`` apart — the latter straddle trap
+boundaries on a linear machine, which is what makes this benchmark
+shuttle-heavy.
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import Circuit
+from ..circuits.decompose import decompose_circuit
+from ..circuits.gate import Gate
+
+
+def supremacy_patterns(rows: int, cols: int) -> list[list[tuple[int, int]]]:
+    """The four alternating CZ half-patterns of the supremacy schedule."""
+
+    def qubit(r: int, c: int) -> int:
+        return r * cols + c
+
+    patterns: list[list[tuple[int, int]]] = []
+    for parity in (0, 1):
+        patterns.append(
+            [
+                (qubit(r, c), qubit(r, c + 1))
+                for r in range(rows)
+                for c in range(parity, cols - 1, 2)
+            ]
+        )
+    for parity in (0, 1):
+        patterns.append(
+            [
+                (qubit(r, c), qubit(r + 1, c))
+                for c in range(cols)
+                for r in range(parity, rows - 1, 2)
+            ]
+        )
+    return patterns
+
+
+def supremacy_circuit(
+    rows: int = 8,
+    cols: int = 8,
+    cycles: int = 20,
+    native: bool = True,
+    with_single_qubit: bool = False,
+) -> Circuit:
+    """Build the supremacy benchmark.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (paper: 8x8 = 64 qubits).
+    cycles:
+        Number of CZ layers (paper: 20, giving 560 two-qubit gates).
+    native:
+        Decompose to the trapped-ion native set (default).  When False
+        the raw CZ circuit is returned.
+    with_single_qubit:
+        Insert the supremacy-style random single-qubit layer before each
+        CZ layer (sqrt(X)/sqrt(Y) alternation).  Off by default because
+        shuttle counts depend only on two-qubit structure.
+    """
+    circuit = Circuit(rows * cols, name="Supremacy")
+    patterns = supremacy_patterns(rows, cols)
+    sq_toggle = 0
+    for cycle in range(cycles):
+        if with_single_qubit:
+            name = "sx" if sq_toggle == 0 else "h"
+            sq_toggle ^= 1
+            for q in range(rows * cols):
+                circuit.append(Gate(name, (q,)))
+        for a, b in patterns[cycle % len(patterns)]:
+            circuit.append(Gate("cz", (a, b)))
+    if native:
+        return decompose_circuit(circuit, keep_one_qubit=with_single_qubit)
+    return circuit

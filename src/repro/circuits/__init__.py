@@ -1,0 +1,67 @@
+"""Circuit intermediate representation and front ends.
+
+Public surface:
+
+* :class:`~repro.circuits.gate.Gate` and gate constructors (``ms``,
+  ``cx``, ...),
+* :class:`~repro.circuits.circuit.Circuit`,
+* :class:`~repro.circuits.dag.DependencyDAG` (Section II-A of the paper),
+* :func:`~repro.circuits.qasm.parse_qasm` / ``load_qasm`` and
+  :func:`~repro.circuits.qasm_writer.circuit_to_qasm`,
+* :func:`~repro.circuits.decompose.decompose_circuit` into the
+  trapped-ion native set.
+"""
+
+from .circuit import Circuit
+from .dag import DependencyDAG
+from .decompose import NATIVE_GATES, decompose_circuit, decompose_gate, is_native
+from .gate import (
+    ONE_QUBIT_GATES,
+    THREE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    GateError,
+    cp,
+    cx,
+    cz,
+    h,
+    ms,
+    rx,
+    ry,
+    rz,
+    rzz,
+    swap,
+    x,
+)
+from .qasm import QasmError, load_qasm, parse_qasm
+from .qasm_writer import circuit_to_qasm, dump_qasm
+
+__all__ = [
+    "Circuit",
+    "DependencyDAG",
+    "Gate",
+    "GateError",
+    "QasmError",
+    "NATIVE_GATES",
+    "ONE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "THREE_QUBIT_GATES",
+    "circuit_to_qasm",
+    "cp",
+    "cx",
+    "cz",
+    "decompose_circuit",
+    "decompose_gate",
+    "dump_qasm",
+    "h",
+    "is_native",
+    "load_qasm",
+    "ms",
+    "parse_qasm",
+    "rx",
+    "ry",
+    "rz",
+    "rzz",
+    "swap",
+    "x",
+]

@@ -1,0 +1,143 @@
+"""Gate dependency graph (Section II-A of the paper).
+
+A quantum program is converted into a directed acyclic graph whose nodes
+are gate indices.  Gate *g* depends on gate *p* when they share a qubit
+and *p* appears earlier in the program; only the most recent predecessor
+per qubit produces an edge (earlier conflicts are implied transitively).
+
+Gates are organized into *layers*: a gate's layer is one more than the
+maximum layer among its predecessors (layer 0 for gates with no
+predecessor).  Gates in the same layer are mutually independent.  The
+paper's Algorithm 1 uses layers to enumerate re-ordering candidates, and
+the baseline gate execution order is an earliest-ready-first topological
+sort of this DAG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from .circuit import Circuit
+from .gate import Gate
+
+
+class DependencyDAG:
+    """Layered gate dependency DAG for a circuit.
+
+    Node identifiers are gate positions in the original circuit
+    (``0 .. len(circuit)-1``).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self._gates: tuple[Gate, ...] = circuit.gates
+        n = len(self._gates)
+        self._preds: list[list[int]] = [[] for _ in range(n)]
+        self._succs: list[list[int]] = [[] for _ in range(n)]
+        self._layer: list[int] = [0] * n
+
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(self._gates):
+            depth = 0
+            preds: set[int] = set()
+            for qubit in gate.qubits:
+                prev = last_on_qubit.get(qubit)
+                if prev is not None:
+                    preds.add(prev)
+                    depth = max(depth, self._layer[prev] + 1)
+                last_on_qubit[qubit] = index
+            self._layer[index] = depth
+            for pred in sorted(preds):
+                self._preds[index].append(pred)
+                self._succs[pred].append(index)
+
+        self._layers: list[list[int]] = []
+        for index, layer in enumerate(self._layer):
+            while len(self._layers) <= layer:
+                self._layers.append([])
+            self._layers[layer].append(index)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def gate(self, index: int) -> Gate:
+        """The gate at DAG node ``index``."""
+        return self._gates[index]
+
+    def predecessors(self, index: int) -> tuple[int, ...]:
+        """Direct dependency predecessors of a gate."""
+        return tuple(self._preds[index])
+
+    def successors(self, index: int) -> tuple[int, ...]:
+        """Direct dependents of a gate."""
+        return tuple(self._succs[index])
+
+    def layer_of(self, index: int) -> int:
+        """Layer number (0-based) of a gate, as defined in Section II-A."""
+        return self._layer[index]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers (equals circuit depth)."""
+        return len(self._layers)
+
+    def layers(self) -> list[list[int]]:
+        """Gates grouped by layer, each layer in program order."""
+        return [list(layer) for layer in self._layers]
+
+    def layer(self, number: int) -> list[int]:
+        """Gate indices in one layer."""
+        return list(self._layers[number])
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Earliest-ready-gate-first order (the baseline order of [7]).
+
+        Kahn's algorithm with a FIFO queue seeded in program order: a
+        gate enters the ready queue as soon as all predecessors have
+        been emitted.  The result is the layered order the paper's
+        Fig. 2c illustrates — gates of earlier layers run first, with
+        program order inside each ready set.
+        """
+        n = len(self._gates)
+        pending = [len(p) for p in self._preds]
+        ready = deque(i for i in range(n) if pending[i] == 0)
+        order: list[int] = []
+        while ready:
+            index = ready.popleft()
+            order.append(index)
+            for succ in self._succs[index]:
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    ready.append(succ)
+        if len(order) != n:  # pragma: no cover - DAG by construction
+            raise RuntimeError("dependency graph has a cycle")
+        return order
+
+    def is_valid_order(self, order: Sequence[int]) -> bool:
+        """Check that ``order`` is a permutation respecting all edges."""
+        if sorted(order) != list(range(len(self._gates))):
+            return False
+        position = {gate: pos for pos, gate in enumerate(order)}
+        return all(
+            position[pred] < position[index]
+            for index in range(len(self._gates))
+            for pred in self._preds[index]
+        )
+
+    def ready_after(self, executed: Iterable[int]) -> set[int]:
+        """Gates whose predecessors are all in ``executed`` and that are
+        not themselves executed (the dependency-safe candidate set used by
+        the re-ordering optimization)."""
+        done = set(executed)
+        return {
+            index
+            for index in range(len(self._gates))
+            if index not in done
+            and all(pred in done for pred in self._preds[index])
+        }

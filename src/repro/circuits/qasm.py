@@ -1,0 +1,609 @@
+"""OpenQASM 2.0 front end.
+
+The paper's benchmark suite is distributed as OpenQASM (QCCDSim ships
+``.qasm`` files; the QuadraticForm benchmark comes from the Qiskit circuit
+library).  No quantum SDK is available in this environment, so this module
+implements a self-contained OpenQASM 2.0 reader:
+
+* lexer with comment handling,
+* constant-expression evaluator (``pi``, ``+ - * / ^``, unary minus,
+  parentheses, and the qelib functions ``sin cos tan exp ln sqrt``),
+* recursive-descent parser covering ``OPENQASM``/``include``/``qreg``/
+  ``creg``/gate applications/``gate`` macro definitions/``barrier``/
+  ``measure``/``reset``,
+* macro expansion of user-defined gates down to the built-in set, and
+* register flattening into a single 0-based qubit index space (multiple
+  ``qreg`` declarations are concatenated in declaration order).
+
+``include "qelib1.inc"`` is recognized and satisfied by built-in gate
+definitions — no file system access is needed.
+
+Unsupported OpenQASM features (``if``, ``opaque`` applications) raise
+:class:`QasmError` with a line number instead of mis-parsing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from .circuit import Circuit
+from .gate import ONE_QUBIT_GATES, THREE_QUBIT_GATES, TWO_QUBIT_GATES, Gate
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported OpenQASM input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+_SYMBOLS = ("->", "==", "(", ")", "[", "]", "{", "}", ",", ";", "+", "-",
+            "*", "/", "^")
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "id" | "int" | "real" | "string" | "sym"
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end == -1:
+                raise QasmError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end == -1:
+                raise QasmError("unterminated string literal", line)
+            tokens.append(_Token("string", source[i + 1 : end], line))
+            i = end + 1
+            continue
+        matched_symbol = False
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(_Token("sym", sym, line))
+                i += len(sym)
+                matched_symbol = True
+                break
+        if matched_symbol:
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    nxt = source[j + 1] if j + 1 < n else ""
+                    nxt2 = source[j + 2] if j + 2 < n else ""
+                    if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                        seen_exp = True
+                        seen_dot = True  # exponent implies real
+                        j += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            kind = "real" if (seen_dot or seen_exp) else "int"
+            tokens.append(_Token(kind, text, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(_Token("id", source[i:j], line))
+            i = j
+            continue
+        raise QasmError(f"unexpected character {ch!r}", line)
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+class _ExprParser:
+    """Pratt-style parser for OpenQASM constant expressions."""
+
+    def __init__(self, tokens: Sequence[_Token], pos: int, env: dict[str, float]):
+        self._tokens = tokens
+        self.pos = pos
+        self._env = env
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self.pos] if self.pos < len(self._tokens) else None
+
+    def parse(self) -> float:
+        return self._additive()
+
+    def _additive(self) -> float:
+        value = self._multiplicative()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.kind == "sym" and tok.text in ("+", "-"):
+                self.pos += 1
+                rhs = self._multiplicative()
+                value = value + rhs if tok.text == "+" else value - rhs
+            else:
+                return value
+
+    def _multiplicative(self) -> float:
+        value = self._unary()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.kind == "sym" and tok.text in ("*", "/"):
+                self.pos += 1
+                rhs = self._unary()
+                if tok.text == "*":
+                    value *= rhs
+                else:
+                    if rhs == 0:
+                        raise QasmError("division by zero in expression", tok.line)
+                    value /= rhs
+            else:
+                return value
+
+    def _unary(self) -> float:
+        tok = self._peek()
+        if tok is None:
+            raise QasmError("unexpected end of expression")
+        if tok.kind == "sym" and tok.text == "-":
+            self.pos += 1
+            return -self._unary()
+        if tok.kind == "sym" and tok.text == "+":
+            self.pos += 1
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> float:
+        base = self._atom()
+        tok = self._peek()
+        if tok is not None and tok.kind == "sym" and tok.text == "^":
+            self.pos += 1
+            exponent = self._unary()
+            return base**exponent
+        return base
+
+    def _atom(self) -> float:
+        tok = self._peek()
+        if tok is None:
+            raise QasmError("unexpected end of expression")
+        if tok.kind in ("int", "real"):
+            self.pos += 1
+            return float(tok.text)
+        if tok.kind == "id":
+            name = tok.text
+            if name == "pi":
+                self.pos += 1
+                return math.pi
+            if name in _FUNCTIONS:
+                self.pos += 1
+                self._expect_sym("(")
+                value = self._additive()
+                self._expect_sym(")")
+                return _FUNCTIONS[name](value)
+            if name in self._env:
+                self.pos += 1
+                return self._env[name]
+            raise QasmError(f"unknown identifier {name!r} in expression", tok.line)
+        if tok.kind == "sym" and tok.text == "(":
+            self.pos += 1
+            value = self._additive()
+            self._expect_sym(")")
+            return value
+        raise QasmError(f"unexpected token {tok.text!r} in expression", tok.line)
+
+    def _expect_sym(self, text: str) -> None:
+        tok = self._peek()
+        if tok is None or tok.kind != "sym" or tok.text != text:
+            found = tok.text if tok else "<eof>"
+            line = tok.line if tok else None
+            raise QasmError(f"expected {text!r}, found {found!r}", line)
+        self.pos += 1
+
+
+# ----------------------------------------------------------------------
+# qelib1 built-ins
+# ----------------------------------------------------------------------
+#: Gate names handled natively by :class:`repro.circuits.gate.Gate` once
+#: qelib1 is included.  ``u0`` is an identity-like delay; ``u`` aliases u3.
+_BUILTIN_GATES = (
+    ONE_QUBIT_GATES | TWO_QUBIT_GATES | THREE_QUBIT_GATES | {"u0"}
+)
+
+
+@dataclass
+class _GateDef:
+    """A user-defined gate macro (``gate name(params) qubits { body }``)."""
+
+    name: str
+    params: tuple[str, ...]
+    qubits: tuple[str, ...]
+    body: list[tuple[str, list[list[_Token]], list[str]]]
+    # body entries: (gate_name, param_token_lists, qubit_arg_names)
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class QasmParser:
+    """Parses OpenQASM 2.0 source into a :class:`Circuit`."""
+
+    def __init__(self, source: str, name: str = "qasm") -> None:
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        self._name = name
+        self._registers: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+        self._num_qubits = 0
+        self._cregs: dict[str, int] = {}
+        self._gate_defs: dict[str, _GateDef] = {}
+        self._gates: list[Gate] = []
+        self._qelib_included = False
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise QasmError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise QasmError(
+                f"expected {text or kind!r}, found {tok.text!r}", tok.line
+            )
+        return tok
+
+    def _accept_sym(self, text: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "sym" and tok.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    # -- top level -------------------------------------------------------
+    def parse(self) -> Circuit:
+        """Parse the full program and return the flattened circuit."""
+        self._parse_header()
+        while self._peek() is not None:
+            self._parse_statement()
+        if self._num_qubits == 0:
+            raise QasmError("program declares no qubits")
+        circuit = Circuit(self._num_qubits, name=self._name)
+        for gate in self._gates:
+            circuit.append(gate)
+        return circuit
+
+    def _parse_header(self) -> None:
+        tok = self._peek()
+        if tok is not None and tok.kind == "id" and tok.text == "OPENQASM":
+            self._next()
+            version = self._next()
+            if version.text not in ("2.0", "2"):
+                raise QasmError(
+                    f"unsupported OpenQASM version {version.text!r}", version.line
+                )
+            self._expect("sym", ";")
+
+    def _parse_statement(self) -> None:
+        tok = self._next()
+        if tok.kind != "id":
+            raise QasmError(f"unexpected token {tok.text!r}", tok.line)
+        keyword = tok.text
+        if keyword == "include":
+            self._parse_include()
+        elif keyword == "qreg":
+            self._parse_qreg()
+        elif keyword == "creg":
+            self._parse_creg()
+        elif keyword == "gate":
+            self._parse_gate_def()
+        elif keyword == "barrier":
+            self._skip_to_semicolon()
+        elif keyword == "measure":
+            self._skip_to_semicolon()
+        elif keyword == "reset":
+            self._skip_to_semicolon()
+        elif keyword == "opaque":
+            raise QasmError("opaque gates are not supported", tok.line)
+        elif keyword == "if":
+            raise QasmError("classical control (if) is not supported", tok.line)
+        else:
+            self._parse_gate_application(keyword, tok.line)
+
+    def _parse_include(self) -> None:
+        tok = self._next()
+        if tok.kind != "string":
+            raise QasmError("include expects a string filename", tok.line)
+        if tok.text not in ("qelib1.inc",):
+            raise QasmError(
+                f"only qelib1.inc includes are supported, got {tok.text!r}",
+                tok.line,
+            )
+        self._qelib_included = True
+        self._expect("sym", ";")
+
+    def _parse_qreg(self) -> None:
+        name_tok = self._expect("id")
+        self._expect("sym", "[")
+        size_tok = self._expect("int")
+        self._expect("sym", "]")
+        self._expect("sym", ";")
+        if name_tok.text in self._registers:
+            raise QasmError(f"duplicate qreg {name_tok.text!r}", name_tok.line)
+        size = int(size_tok.text)
+        if size <= 0:
+            raise QasmError("qreg size must be positive", size_tok.line)
+        self._registers[name_tok.text] = (self._num_qubits, size)
+        self._num_qubits += size
+
+    def _parse_creg(self) -> None:
+        name_tok = self._expect("id")
+        self._expect("sym", "[")
+        size_tok = self._expect("int")
+        self._expect("sym", "]")
+        self._expect("sym", ";")
+        self._cregs[name_tok.text] = int(size_tok.text)
+
+    def _skip_to_semicolon(self) -> None:
+        while True:
+            tok = self._next()
+            if tok.kind == "sym" and tok.text == ";":
+                return
+
+    # -- gate definitions --------------------------------------------------
+    def _parse_gate_def(self) -> None:
+        name_tok = self._expect("id")
+        params: tuple[str, ...] = ()
+        if self._accept_sym("("):
+            names: list[str] = []
+            if not self._accept_sym(")"):
+                while True:
+                    names.append(self._expect("id").text)
+                    if self._accept_sym(")"):
+                        break
+                    self._expect("sym", ",")
+            params = tuple(names)
+        qubit_names: list[str] = []
+        while True:
+            qubit_names.append(self._expect("id").text)
+            if self._accept_sym("{"):
+                break
+            self._expect("sym", ",")
+        body: list[tuple[str, list[list[_Token]], list[str]]] = []
+        while not self._accept_sym("}"):
+            inner_tok = self._expect("id")
+            if inner_tok.text == "barrier":
+                self._skip_to_semicolon()
+                continue
+            inner_name = inner_tok.text
+            param_exprs: list[list[_Token]] = []
+            if self._accept_sym("("):
+                param_exprs = self._collect_paren_args()
+            args: list[str] = []
+            while True:
+                args.append(self._expect("id").text)
+                if self._accept_sym(";"):
+                    break
+                self._expect("sym", ",")
+            body.append((inner_name, param_exprs, args))
+        self._gate_defs[name_tok.text] = _GateDef(
+            name_tok.text, params, tuple(qubit_names), body, name_tok.line
+        )
+
+    def _collect_paren_args(self) -> list[list[_Token]]:
+        """Collect comma-separated token runs up to the matching ')'."""
+        args: list[list[_Token]] = []
+        current: list[_Token] = []
+        depth = 1
+        while True:
+            tok = self._next()
+            if tok.kind == "sym":
+                if tok.text == "(":
+                    depth += 1
+                elif tok.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        if current or args:
+                            args.append(current)
+                        return args
+                elif tok.text == "," and depth == 1:
+                    args.append(current)
+                    current = []
+                    continue
+            current.append(tok)
+
+    # -- gate applications --------------------------------------------------
+    def _parse_gate_application(self, name: str, line: int) -> None:
+        param_exprs: list[list[_Token]] = []
+        if self._accept_sym("("):
+            param_exprs = self._collect_paren_args()
+        operands: list[list[int]] = []
+        while True:
+            operands.append(self._parse_operand())
+            if self._accept_sym(";"):
+                break
+            self._expect("sym", ",")
+        params = tuple(self._eval_tokens(tokens, {}) for tokens in param_exprs)
+        for qubit_tuple in _broadcast(operands, line):
+            self._emit(name, params, qubit_tuple, line)
+
+    def _parse_operand(self) -> list[int]:
+        """A register reference, either ``reg`` (whole) or ``reg[i]``."""
+        name_tok = self._expect("id")
+        if name_tok.text not in self._registers:
+            raise QasmError(f"unknown qreg {name_tok.text!r}", name_tok.line)
+        offset, size = self._registers[name_tok.text]
+        if self._accept_sym("["):
+            index_tok = self._expect("int")
+            self._expect("sym", "]")
+            index = int(index_tok.text)
+            if index >= size:
+                raise QasmError(
+                    f"index {index} out of range for qreg "
+                    f"{name_tok.text!r}[{size}]",
+                    index_tok.line,
+                )
+            return [offset + index]
+        return [offset + k for k in range(size)]
+
+    def _eval_tokens(self, tokens: list[_Token], env: dict[str, float]) -> float:
+        parser = _ExprParser(tokens, 0, env)
+        value = parser.parse()
+        if parser.pos != len(tokens):
+            stray = tokens[parser.pos]
+            raise QasmError(f"trailing tokens in expression", stray.line)
+        return value
+
+    def _emit(
+        self,
+        name: str,
+        params: tuple[float, ...],
+        qubits: tuple[int, ...],
+        line: int,
+    ) -> None:
+        if name in self._gate_defs:
+            self._expand_macro(self._gate_defs[name], params, qubits, line)
+            return
+        if name in _BUILTIN_GATES:
+            if name == "u0":
+                return  # timing no-op
+            if name == "id":
+                return  # identity: irrelevant for compilation
+            try:
+                self._gates.append(Gate(name, qubits, params))
+            except ValueError as exc:
+                raise QasmError(str(exc), line) from exc
+            return
+        raise QasmError(f"unknown gate {name!r}", line)
+
+    def _expand_macro(
+        self,
+        definition: _GateDef,
+        params: tuple[float, ...],
+        qubits: tuple[int, ...],
+        line: int,
+        depth: int = 0,
+    ) -> None:
+        if depth > 64:
+            raise QasmError(
+                f"gate {definition.name!r} expands recursively", definition.line
+            )
+        if len(params) != len(definition.params):
+            raise QasmError(
+                f"gate {definition.name!r} expects {len(definition.params)} "
+                f"parameters, got {len(params)}",
+                line,
+            )
+        if len(qubits) != len(definition.qubits):
+            raise QasmError(
+                f"gate {definition.name!r} expects {len(definition.qubits)} "
+                f"qubits, got {len(qubits)}",
+                line,
+            )
+        env = dict(zip(definition.params, params))
+        binding = dict(zip(definition.qubits, qubits))
+        for inner_name, param_exprs, args in definition.body:
+            inner_params = tuple(
+                self._eval_tokens(tokens, env) for tokens in param_exprs
+            )
+            try:
+                inner_qubits = tuple(binding[a] for a in args)
+            except KeyError as exc:
+                raise QasmError(
+                    f"gate {definition.name!r} body references unknown qubit "
+                    f"{exc.args[0]!r}",
+                    definition.line,
+                ) from exc
+            if inner_name in self._gate_defs:
+                self._expand_macro(
+                    self._gate_defs[inner_name],
+                    inner_params,
+                    inner_qubits,
+                    line,
+                    depth + 1,
+                )
+            else:
+                self._emit(inner_name, inner_params, inner_qubits, line)
+
+
+def _broadcast(
+    operands: list[list[int]], line: int
+) -> Iterator[tuple[int, ...]]:
+    """OpenQASM register broadcasting: whole-register operands fan out."""
+    sizes = {len(op) for op in operands if len(op) > 1}
+    if not sizes:
+        yield tuple(op[0] for op in operands)
+        return
+    if len(sizes) > 1:
+        raise QasmError("mismatched register sizes in gate application", line)
+    width = sizes.pop()
+    for k in range(width):
+        yield tuple(op[k] if len(op) > 1 else op[0] for op in operands)
+
+
+def parse_qasm(source: str, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2.0 source text into a :class:`Circuit`."""
+    return QasmParser(source, name=name).parse()
+
+
+def load_qasm(path: str) -> Circuit:
+    """Parse an OpenQASM 2.0 file into a :class:`Circuit`."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    stem = path.rsplit("/", 1)[-1]
+    if stem.endswith(".qasm"):
+        stem = stem[: -len(".qasm")]
+    return parse_qasm(source, name=stem)

@@ -1,0 +1,73 @@
+"""OpenQASM 2.0 emission.
+
+Round-trips circuits produced by the generators or the parser back to
+QASM text.  Gate names already follow qelib1 conventions except for the
+native ``ms``/``rxx`` gates, which are emitted as ``rxx`` applications
+(declared via a small preamble macro so standard tools can re-read the
+file).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .circuit import Circuit
+from .gate import Gate
+
+_RXX_PREAMBLE = """gate rxx(theta) a, b
+{
+  h a; h b;
+  cx a, b;
+  rz(theta) b;
+  cx a, b;
+  h a; h b;
+}
+"""
+
+
+def gate_to_qasm(gate: Gate, register: str = "q") -> str:
+    """Render one gate as an OpenQASM statement."""
+    name = gate.name
+    params = gate.params
+    if name == "ms":
+        name = "rxx"
+        params = (math.pi / 2,)
+    args = ", ".join(f"{register}[{q}]" for q in gate.qubits)
+    if params:
+        rendered = ", ".join(_render_param(p) for p in params)
+        return f"{name}({rendered}) {args};"
+    return f"{name} {args};"
+
+
+def _render_param(value: float) -> str:
+    ratio = value / math.pi
+    for denom in (1, 2, 3, 4, 6, 8, 16, 32, 64):
+        scaled = ratio * denom
+        if abs(scaled - round(scaled)) < 1e-12 and round(scaled) != 0:
+            num = int(round(scaled))
+            prefix = "-" if num < 0 else ""
+            num = abs(num)
+            head = "pi" if num == 1 else f"{num}*pi"
+            return f"{prefix}{head}/{denom}" if denom > 1 else f"{prefix}{head}"
+    return repr(value)
+
+
+def circuit_to_qasm(circuit: Circuit, register: str = "q") -> str:
+    """Render a circuit as a complete OpenQASM 2.0 program."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+    ]
+    needs_rxx = any(g.name in ("ms", "rxx") for g in circuit)
+    if needs_rxx:
+        lines.append(_RXX_PREAMBLE.rstrip())
+    lines.append(f"qreg {register}[{circuit.num_qubits}];")
+    for gate in circuit:
+        lines.append(gate_to_qasm(gate, register))
+    return "\n".join(lines) + "\n"
+
+
+def dump_qasm(circuit: Circuit, path: str, register: str = "q") -> None:
+    """Write a circuit to a ``.qasm`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(circuit_to_qasm(circuit, register))

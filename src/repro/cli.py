@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands
+--------
+``table2``   regenerate Table II (shuttle reduction)
+``table3``   regenerate Table III (compile-time overhead)
+``fig8``     regenerate Fig. 8 (fidelity improvement)
+``ablation`` run the E4/E5 ablation studies
+``compile``  compile one benchmark and print its statistics
+``info``     describe the machine model and compiler configurations
+
+Use ``--full`` (or ``REPRO_FULL=1``) for the complete 120-circuit
+random ensemble.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .arch.presets import grid_machine, l6_machine, linear_machine, ring_machine
+from .bench.qaoa import qaoa_circuit
+from .bench.qft import qft_circuit
+from .bench.quadraticform import quadratic_form_circuit
+from .bench.random_circuits import random_circuit
+from .bench.squareroot import squareroot_circuit
+from .bench.suite import nisq_suite
+from .bench.supremacy import supremacy_circuit
+from .compiler.config import CompilerConfig
+from .eval.ablation import heuristic_ablation, proximity_sweep, render_sweep
+from .eval.figure8 import render_figure8
+from .eval.harness import compare, run_suite
+from .eval.table2 import overall_reduction, render_table2, wins_everywhere
+from .eval.table3 import render_table3
+from .viz.timeline import schedule_summary, shuttle_trace
+from .viz.trapview import render_chains, render_topology
+
+_BENCHMARKS = {
+    "supremacy": supremacy_circuit,
+    "qaoa": qaoa_circuit,
+    "squareroot": squareroot_circuit,
+    "qft": qft_circuit,
+    "quadraticform": quadratic_form_circuit,
+}
+
+
+def _machine_from_args(args) -> object:
+    if args.machine == "l6":
+        return l6_machine()
+    if args.machine.startswith("linear"):
+        return linear_machine(int(args.machine[len("linear") :]))
+    if args.machine.startswith("ring"):
+        return ring_machine(int(args.machine[len("ring") :]))
+    if args.machine.startswith("grid"):
+        rows, cols = args.machine[len("grid") :].split("x")
+        return grid_machine(int(rows), int(cols))
+    raise SystemExit(f"unknown machine {args.machine!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        default="l6",
+        help="machine preset: l6 (default), linearN, ringN, gridRxC",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full 120-circuit random ensemble",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown tables (for EXPERIMENTS.md)",
+    )
+
+
+def _cmd_table2(args) -> int:
+    machine = _machine_from_args(args)
+    comparisons = run_suite(
+        machine=machine, simulate=False, full=args.full or None, verbose=True
+    )
+    print()
+    print(render_table2(comparisons, markdown=args.markdown))
+    print()
+    print(f"average reduction: {overall_reduction(comparisons):.1f}%")
+    print(f"fewer shuttles on every circuit: {wins_everywhere(comparisons)}")
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    machine = _machine_from_args(args)
+    comparisons = run_suite(
+        machine=machine, simulate=False, full=args.full or None
+    )
+    print(render_table3(comparisons, markdown=args.markdown))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    machine = _machine_from_args(args)
+    comparisons = run_suite(
+        machine=machine, simulate=True, full=args.full or None
+    )
+    print(render_figure8(comparisons, markdown=args.markdown))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    machine = _machine_from_args(args)
+    circuits = nisq_suite()
+    print("E4: gate-proximity sweep (mean over the NISQ suite)")
+    print(render_sweep(proximity_sweep(circuits, machine), "proximity"))
+    print()
+    print("E5: per-heuristic ablation")
+    print(render_sweep(heuristic_ablation(circuits, machine), "variant"))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    machine = _machine_from_args(args)
+    if args.benchmark == "random":
+        circuit = random_circuit(args.qubits or 64, args.gates or 1438, args.seed)
+    else:
+        factory = _BENCHMARKS.get(args.benchmark)
+        if factory is None:
+            raise SystemExit(
+                f"unknown benchmark {args.benchmark!r}; "
+                f"choose from {sorted(_BENCHMARKS)} or 'random'"
+            )
+        circuit = factory()
+    comparison = compare(circuit, machine, simulate=True)
+    for label, result, report in (
+        ("baseline [7]", comparison.baseline, comparison.baseline_report),
+        ("this work", comparison.optimized, comparison.optimized_report),
+    ):
+        print(f"== {label} ==")
+        print(" ", result.summary())
+        print(" ", schedule_summary(result.schedule))
+        assert report is not None
+        print(
+            f"  log10 fidelity = {report.log10_fidelity:.2f}, "
+            f"duration = {report.duration * 1e3:.2f} ms, "
+            f"max nbar = {report.max_nbar:.2f}"
+        )
+    print(
+        f"shuttle reduction: {comparison.shuttle_reduction_percent:.2f}%  "
+        f"fidelity improvement: {comparison.fidelity_improvement:.2f}X"
+    )
+    if args.trace:
+        print()
+        print(shuttle_trace(comparison.optimized.schedule, limit=args.trace))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    machine = _machine_from_args(args)
+    print(machine)
+    print(render_topology(machine))
+    print()
+    chains = {
+        t: list(
+            range(
+                sum(machine.trap(u).load_capacity for u in range(t)),
+                sum(machine.trap(u).load_capacity for u in range(t + 1)),
+            )
+        )
+        for t in range(machine.num_traps)
+    }
+    print(render_chains(machine, chains, label="fully loaded example:"))
+    print()
+    for config in (CompilerConfig.baseline(), CompilerConfig.optimized()):
+        print(f"{config.name}: {config}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Muzzle the Shuttle' (DATE 2022): "
+            "shuttle-efficient QCCD compilation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, doc in (
+        ("table2", _cmd_table2, "regenerate Table II (shuttle reduction)"),
+        ("table3", _cmd_table3, "regenerate Table III (compile time)"),
+        ("fig8", _cmd_fig8, "regenerate Fig. 8 (fidelity improvement)"),
+        ("ablation", _cmd_ablation, "run the E4/E5 ablation studies"),
+        ("info", _cmd_info, "describe machine and compiler configs"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_common(p)
+        p.set_defaults(handler=handler)
+
+    p = sub.add_parser("compile", help="compile one benchmark, show stats")
+    _add_common(p)
+    p.add_argument(
+        "benchmark",
+        help=f"one of {sorted(_BENCHMARKS)} or 'random'",
+    )
+    p.add_argument("--qubits", type=int, help="random: register size")
+    p.add_argument("--gates", type=int, help="random: 2q gate count")
+    p.add_argument("--seed", type=int, default=1, help="random: seed")
+    p.add_argument(
+        "--trace", type=int, default=0, help="print first N shuttle ops"
+    )
+    p.set_defaults(handler=_cmd_compile)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

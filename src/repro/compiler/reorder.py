@@ -1,0 +1,86 @@
+"""Opportunistic gate re-ordering (Section III-B, Algorithm 1).
+
+Invoked when the favourable shuttle destination of the *active gate* is
+full.  The algorithm scans dependency-safe pending gates in the active
+gate's layer and earlier layers; if one of them would shuttle an ion
+*out of* the full trap (its favourable *source* trap equals the old
+destination), it is hoisted in front of the active gate, freeing a slot
+and becoming the new active gate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..circuits.dag import DependencyDAG
+from ..circuits.gate import Gate
+from .state import CompilerState
+
+
+def find_reorder_candidate(
+    pending: Sequence[int],
+    active_pos: int,
+    executed: set[int],
+    dag: DependencyDAG,
+    state: CompilerState,
+    decide: Callable[[Gate, Iterable[Gate]], "object"],
+    old_destination: int,
+) -> int | None:
+    """Return the pending-list position of a hoistable gate, or None.
+
+    Implements Algorithm 1:
+
+    * candidates are pending gates after the active position whose layer
+      is <= the active gate's layer ("this layer and preceding layers")
+      and whose predecessors have all executed (dependency safety);
+    * a candidate qualifies when its own favourable shuttle direction —
+      computed with the compiler's direction policy — departs from
+      ``old_destination``, the trap that is currently full.
+
+    ``decide`` is a closure over the compiler's policy; it receives the
+    candidate gate, the upcoming ``(gate, layer)`` iterable, and the
+    candidate's layer, and returns an object with ``src``/``dst``
+    attributes (a ShuttleDecision).
+    """
+    active_index = pending[active_pos]
+    active_layer = dag.layer_of(active_index)
+    for pos in range(active_pos + 1, len(pending)):
+        index = pending[pos]
+        if dag.layer_of(index) > active_layer:
+            continue
+        gate = dag.gate(index)
+        if not gate.is_two_qubit:
+            continue
+        if any(pred not in executed for pred in dag.predecessors(index)):
+            continue
+        ion_a, ion_b = gate.qubits
+        trap_a = state.trap_of(ion_a)
+        trap_b = state.trap_of(ion_b)
+        if trap_a == trap_b:
+            continue  # executes without a shuttle; frees no slot
+        if old_destination not in (trap_a, trap_b):
+            continue  # cannot possibly depart from the full trap
+        upcoming = _candidate_upcoming(pending, active_pos, pos, dag)
+        decision = decide(gate, upcoming, dag.layer_of(index))
+        if decision.src == old_destination:
+            return pos
+    return None
+
+
+def _candidate_upcoming(
+    pending: Sequence[int],
+    active_pos: int,
+    candidate_pos: int,
+    dag: DependencyDAG,
+):
+    """Upcoming (gate, layer) pairs as seen by a hoisted candidate.
+
+    After hoisting, the candidate executes first and everything from the
+    active position onward (minus the candidate itself) follows, so that
+    is the future the candidate's direction decision should look at.
+    """
+    for pos in range(active_pos, len(pending)):
+        if pos == candidate_pos:
+            continue
+        index = pending[pos]
+        yield dag.gate(index), dag.layer_of(index)

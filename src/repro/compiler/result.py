@@ -1,0 +1,69 @@
+"""Compilation result container."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..sim.ops import ShuttleReason
+from ..sim.schedule import Schedule
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler produced for one circuit.
+
+    The schedule plus the initial chains are sufficient to simulate the
+    program; the remaining fields are bookkeeping for the evaluation
+    harness (Table II / Table III columns).
+    """
+
+    circuit_name: str
+    config_name: str
+    schedule: Schedule
+    initial_chains: dict[int, list[int]]
+    final_chains: dict[int, list[int]]
+    gate_order: list[int]  # original gate indices in execution order
+    num_reorders: int  # Algorithm-1 hoists performed
+    num_rebalances: int  # traffic-block evictions performed
+    compile_time: float  # wall-clock seconds (Table III metric)
+
+    @property
+    def num_shuttles(self) -> int:
+        """Total shuttles = MoveOps (Table II metric)."""
+        return self.schedule.num_shuttles
+
+    @property
+    def num_gates(self) -> int:
+        """Executed gates."""
+        return self.schedule.num_gates
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Executed two-qubit gates."""
+        return self.schedule.num_two_qubit_gates
+
+    def shuttles_by_reason(self) -> Counter:
+        """Shuttles attributed to gate routing vs traffic re-balancing."""
+        return self.schedule.shuttles_by_reason()
+
+    @property
+    def gate_routing_shuttles(self) -> int:
+        """Shuttles emitted to bring gate partners together."""
+        return self.shuttles_by_reason().get(ShuttleReason.GATE, 0)
+
+    @property
+    def rebalance_shuttles(self) -> int:
+        """Shuttles emitted resolving traffic blocks."""
+        return self.shuttles_by_reason().get(ShuttleReason.REBALANCE, 0)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.circuit_name} [{self.config_name}]: "
+            f"{self.num_shuttles} shuttles "
+            f"({self.gate_routing_shuttles} gate / "
+            f"{self.rebalance_shuttles} rebalance), "
+            f"{self.num_reorders} reorders, "
+            f"{self.compile_time * 1e3:.1f} ms compile"
+        )

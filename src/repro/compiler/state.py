@@ -1,0 +1,123 @@
+"""Mutable machine state tracked during compilation.
+
+The compiler shadows the machine: which trap each ion occupies, how full
+every trap is.  This is the state both shuttle-direction policies and the
+re-balancing logic query (excess capacities, chain membership).
+"""
+
+from __future__ import annotations
+
+from ..arch.machine import QCCDMachine
+
+
+class CompilationError(RuntimeError):
+    """Raised when a circuit cannot be compiled onto the machine."""
+
+
+class CompilerState:
+    """Ion placement state during compilation.
+
+    Parameters
+    ----------
+    machine:
+        Static machine description.
+    initial_chains:
+        Trap id -> ordered ion chain, as produced by the initial mapper.
+    """
+
+    def __init__(
+        self, machine: QCCDMachine, initial_chains: dict[int, list[int]]
+    ) -> None:
+        self.machine = machine
+        self.chains: list[list[int]] = [
+            list(initial_chains.get(t, [])) for t in range(machine.num_traps)
+        ]
+        self._trap_of: dict[int, int] = {}
+        for trap_id, chain in enumerate(self.chains):
+            capacity = machine.trap(trap_id).capacity
+            if len(chain) > capacity:
+                raise CompilationError(
+                    f"initial chain of trap {trap_id} ({len(chain)} ions) "
+                    f"exceeds capacity {capacity}"
+                )
+            for ion in chain:
+                if ion in self._trap_of:
+                    raise CompilationError(
+                        f"ion {ion} mapped to multiple traps"
+                    )
+                self._trap_of[ion] = trap_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def trap_of(self, ion: int) -> int:
+        """Trap currently holding ``ion``."""
+        try:
+            return self._trap_of[ion]
+        except KeyError as exc:
+            raise CompilationError(f"ion {ion} is not mapped") from exc
+
+    def occupancy(self, trap: int) -> int:
+        """Number of ions in a trap."""
+        return len(self.chains[trap])
+
+    def excess_capacity(self, trap: int) -> int:
+        """EC = total capacity - occupancy (the paper's key quantity)."""
+        return self.machine.trap(trap).capacity - len(self.chains[trap])
+
+    def is_full(self, trap: int) -> bool:
+        """True when the trap cannot accept another ion."""
+        return self.excess_capacity(trap) <= 0
+
+    def chain(self, trap: int) -> list[int]:
+        """Copy of the trap's ion chain."""
+        return list(self.chains[trap])
+
+    def co_located(self, ion_a: int, ion_b: int) -> bool:
+        """True when both ions share a trap (gate directly executable)."""
+        return self.trap_of(ion_a) == self.trap_of(ion_b)
+
+    # ------------------------------------------------------------------
+    # Mutations (mirroring split/merge)
+    # ------------------------------------------------------------------
+    def detach_ion(self, ion: int) -> int:
+        """Remove an ion from its chain (split); returns the source trap."""
+        trap = self.trap_of(ion)
+        self.chains[trap].remove(ion)
+        del self._trap_of[ion]
+        return trap
+
+    def attach_ion(self, ion: int, trap: int, position: int | None = None) -> None:
+        """Attach an ion to a trap's chain (merge).
+
+        ``position`` inserts at that chain index (0 = head); the default
+        appends at the tail.
+        """
+        if ion in self._trap_of:
+            raise CompilationError(
+                f"ion {ion} attached while still in trap {self._trap_of[ion]}"
+            )
+        if self.is_full(trap):
+            raise CompilationError(
+                f"ion {ion} attached to full trap {trap}"
+            )
+        if position is None:
+            self.chains[trap].append(ion)
+        else:
+            self.chains[trap].insert(position, ion)
+        self._trap_of[ion] = trap
+
+    def swap_adjacent(self, trap: int, index: int) -> tuple[int, int]:
+        """Exchange the chain neighbours at ``index`` and ``index + 1``;
+        returns the swapped ion pair."""
+        chain = self.chains[trap]
+        if not 0 <= index < len(chain) - 1:
+            raise CompilationError(
+                f"no adjacent pair at position {index} in trap {trap}"
+            )
+        chain[index], chain[index + 1] = chain[index + 1], chain[index]
+        return chain[index], chain[index + 1]
+
+    def snapshot_chains(self) -> dict[int, list[int]]:
+        """Trap id -> chain copy (for simulator hand-off and reports)."""
+        return {t: list(chain) for t, chain in enumerate(self.chains)}

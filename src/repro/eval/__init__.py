@@ -1,0 +1,58 @@
+"""Evaluation harness: Table II, Table III, Fig. 8, and ablations."""
+
+from .ablation import (
+    PROXIMITY_SWEEP,
+    SweepPoint,
+    heuristic_ablation,
+    proximity_sweep,
+    render_sweep,
+)
+from .exact import ExactSolverError, optimal_shuttle_count
+from .figure8 import Fig8Bar, build_figure8, render_figure8
+from .harness import BenchmarkComparison, compare, run_suite
+from .metrics import (
+    Aggregate,
+    aggregate,
+    improvement_factor,
+    reduction_percent,
+)
+from .report import render_bar_chart, render_markdown_table, render_table
+from .table2 import (
+    Table2Row,
+    build_table2,
+    overall_reduction,
+    render_table2,
+    wins_everywhere,
+)
+from .table3 import Table3Row, build_table3, render_table3
+
+__all__ = [
+    "Aggregate",
+    "BenchmarkComparison",
+    "ExactSolverError",
+    "Fig8Bar",
+    "PROXIMITY_SWEEP",
+    "SweepPoint",
+    "Table2Row",
+    "Table3Row",
+    "aggregate",
+    "build_figure8",
+    "build_table2",
+    "build_table3",
+    "compare",
+    "heuristic_ablation",
+    "improvement_factor",
+    "optimal_shuttle_count",
+    "overall_reduction",
+    "proximity_sweep",
+    "reduction_percent",
+    "render_bar_chart",
+    "render_figure8",
+    "render_markdown_table",
+    "render_sweep",
+    "render_table",
+    "render_table2",
+    "render_table3",
+    "run_suite",
+    "wins_everywhere",
+]

@@ -1,0 +1,146 @@
+"""Ablation studies (DESIGN.md experiments E4 and E5).
+
+E4 — the gate-proximity design-parameter study backing the paper's
+choice of 6 (Section III-A3: "The distance should not be too low ...
+and should not be too high"), extended with the distance-metric and
+score-decay variants this reproduction documents.
+
+E5 — per-heuristic ablation: each of the paper's three optimizations
+(plus this reproduction's capacity guard) toggled on top of the
+baseline, and removed from the full configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.machine import QCCDMachine
+from ..arch.presets import l6_machine
+from ..circuits.circuit import Circuit
+from ..compiler.compiler import QCCDCompiler
+from ..compiler.config import CompilerConfig
+from ..compiler.mapping import greedy_initial_mapping
+from .metrics import aggregate, reduction_percent
+from .report import render_table
+
+#: Proximity values swept in E4 (None = unbounded look-ahead).
+PROXIMITY_SWEEP = (0, 1, 2, 4, 6, 8, 12, 24, None)
+
+
+@dataclass
+class SweepPoint:
+    """Aggregate shuttle count for one configuration over a circuit set."""
+
+    label: str
+    mean_shuttles: float
+    std_shuttles: float
+    mean_reduction_percent: float
+
+
+def _run_config(
+    circuits: list[Circuit],
+    machine: QCCDMachine,
+    config: CompilerConfig,
+    baselines: list[int],
+    label: str,
+) -> SweepPoint:
+    shuttles = []
+    reductions = []
+    for circuit, baseline in zip(circuits, baselines):
+        result = QCCDCompiler(machine, config).compile(
+            circuit, initial_chains=greedy_initial_mapping(circuit, machine)
+        )
+        shuttles.append(float(result.num_shuttles))
+        reductions.append(reduction_percent(baseline, result.num_shuttles))
+    agg = aggregate(shuttles)
+    return SweepPoint(
+        label=label,
+        mean_shuttles=agg.mean,
+        std_shuttles=agg.std,
+        mean_reduction_percent=aggregate(reductions).mean,
+    )
+
+
+def _baselines(
+    circuits: list[Circuit], machine: QCCDMachine
+) -> list[int]:
+    config = CompilerConfig.baseline()
+    return [
+        QCCDCompiler(machine, config)
+        .compile(c, initial_chains=greedy_initial_mapping(c, machine))
+        .num_shuttles
+        for c in circuits
+    ]
+
+
+def proximity_sweep(
+    circuits: list[Circuit],
+    machine: QCCDMachine | None = None,
+    values: tuple = PROXIMITY_SWEEP,
+    metric: str = "layers",
+) -> list[SweepPoint]:
+    """E4: shuttles vs the gate-proximity parameter."""
+    if machine is None:
+        machine = l6_machine()
+    baselines = _baselines(circuits, machine)
+    points = []
+    for proximity in values:
+        config = CompilerConfig.optimized().variant(
+            proximity=proximity, proximity_metric=metric
+        )
+        label = "inf" if proximity is None else str(proximity)
+        points.append(
+            _run_config(circuits, machine, config, baselines, label)
+        )
+    return points
+
+
+def heuristic_ablation(
+    circuits: list[Circuit],
+    machine: QCCDMachine | None = None,
+) -> list[SweepPoint]:
+    """E5: each heuristic added to the baseline and removed from the full
+    configuration."""
+    if machine is None:
+        machine = l6_machine()
+    baselines = _baselines(circuits, machine)
+    base = CompilerConfig.baseline()
+    full = CompilerConfig.optimized()
+    variants: list[tuple[str, CompilerConfig]] = [
+        ("baseline [7]", base),
+        (
+            "+future-ops",
+            base.variant(shuttle_policy="future-ops", proximity=6),
+        ),
+        ("+reorder", base.variant(reorder=True)),
+        ("+nn-rebalance", base.variant(rebalance="nearest")),
+        ("+max-score-ion", base.variant(ion_selection="max-score")),
+        ("full (this work)", full),
+        ("full -reorder", full.variant(reorder=False)),
+        ("full -nn-rebalance", full.variant(rebalance="lowest-index")),
+        ("full -max-score-ion", full.variant(ion_selection="chain-head")),
+        ("full -capacity-guard", full.variant(capacity_guard=0)),
+        ("full +score-decay", full.variant(score_decay=0.7)),
+        ("full +cheap-evict", full.variant(cheap_evict=True)),
+        ("full, gate-metric", full.variant(proximity_metric="gates")),
+    ]
+    return [
+        _run_config(circuits, machine, config, baselines, label)
+        for label, config in variants
+    ]
+
+
+def render_sweep(points: list[SweepPoint], value_header: str) -> str:
+    """Render a sweep as an aligned text table."""
+    return render_table(
+        [value_header, "mean shuttles", "std", "mean reduction vs [7]"],
+        [
+            [
+                p.label,
+                f"{p.mean_shuttles:.1f}",
+                f"{p.std_shuttles:.1f}",
+                f"{p.mean_reduction_percent:.1f}%",
+            ]
+            for p in points
+        ],
+    )

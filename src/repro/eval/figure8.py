@@ -1,0 +1,106 @@
+"""Fig. 8 regeneration: program-fidelity improvement.
+
+Simulates both compiled schedules under the identical heating/fidelity
+model and reports ``F_thiswork / F_[7]`` per benchmark — the paper's
+``X`` factors.  The random ensemble is reported as a geometric mean
+(the quantity is a ratio).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..bench.suite import PAPER_FIG8_IMPROVEMENT
+from .harness import BenchmarkComparison
+from .report import render_bar_chart, render_markdown_table, render_table
+
+
+@dataclass
+class Fig8Bar:
+    """One bar of Fig. 8."""
+
+    benchmark: str
+    improvement: float
+    paper_improvement: float | None
+    baseline_log10: float
+    optimized_log10: float
+
+
+def build_figure8(comparisons: list[BenchmarkComparison]) -> list[Fig8Bar]:
+    """Collapse a simulated suite run into Fig. 8 bars."""
+    bars: list[Fig8Bar] = []
+    randoms = [c for c in comparisons if c.is_random]
+    for comparison in comparisons:
+        if comparison.is_random:
+            continue
+        assert comparison.baseline_report is not None
+        assert comparison.optimized_report is not None
+        bars.append(
+            Fig8Bar(
+                benchmark=comparison.circuit_name,
+                improvement=comparison.fidelity_improvement,
+                paper_improvement=PAPER_FIG8_IMPROVEMENT.get(
+                    comparison.circuit_name
+                ),
+                baseline_log10=comparison.baseline_report.log10_fidelity,
+                optimized_log10=comparison.optimized_report.log10_fidelity,
+            )
+        )
+    if randoms:
+        # Geometric mean of the ratios.
+        log_sum = sum(
+            math.log(c.fidelity_improvement) for c in randoms
+        )
+        geo = math.exp(log_sum / len(randoms))
+        bars.append(
+            Fig8Bar(
+                benchmark=f"Random (n={len(randoms)})",
+                improvement=geo,
+                paper_improvement=PAPER_FIG8_IMPROVEMENT.get("Random"),
+                baseline_log10=sum(
+                    c.baseline_report.log10_fidelity for c in randoms
+                )
+                / len(randoms),
+                optimized_log10=sum(
+                    c.optimized_report.log10_fidelity for c in randoms
+                )
+                / len(randoms),
+            )
+        )
+    return bars
+
+
+def render_figure8(
+    comparisons: list[BenchmarkComparison],
+    markdown: bool = False,
+    chart: bool = True,
+) -> str:
+    """Render Fig. 8 as a table plus an ASCII bar chart."""
+    bars = build_figure8(comparisons)
+    headers = [
+        "Benchmark",
+        "Improvement (X)",
+        "Paper (X)",
+        "log10 F [7]",
+        "log10 F this work",
+    ]
+    rows = [
+        [
+            bar.benchmark,
+            f"{bar.improvement:.2f}X",
+            f"{bar.paper_improvement:.2f}X" if bar.paper_improvement else "-",
+            f"{bar.baseline_log10:.2f}",
+            f"{bar.optimized_log10:.2f}",
+        ]
+        for bar in bars
+    ]
+    renderer = render_markdown_table if markdown else render_table
+    text = renderer(headers, rows)
+    if chart and not markdown:
+        text += "\n\n" + render_bar_chart(
+            [bar.benchmark for bar in bars],
+            [bar.improvement for bar in bars],
+            unit="X",
+        )
+    return text

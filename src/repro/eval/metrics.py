@@ -1,0 +1,45 @@
+"""Metrics shared by the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def reduction_percent(baseline: float, optimized: float) -> float:
+    """The paper's %Delta column: 100 * (baseline - optimized) / baseline."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - optimized) / baseline
+
+
+def improvement_factor(
+    log_fidelity_optimized: float, log_fidelity_baseline: float
+) -> float:
+    """Fig. 8's ``X`` metric: F_optimized / F_baseline, computed in logs."""
+    return math.exp(log_fidelity_optimized - log_fidelity_baseline)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and sample standard deviation of a sample."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ({self.std:.1f})"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Mean / sample-std of a sequence (std 0 for < 2 samples)."""
+    n = len(values)
+    if n == 0:
+        return Aggregate(0.0, 0.0, 0)
+    mean = sum(values) / n
+    if n < 2:
+        return Aggregate(mean, 0.0, n)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Aggregate(mean, math.sqrt(variance), n)

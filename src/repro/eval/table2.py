@@ -1,0 +1,138 @@
+"""Table II regeneration: reduction in the number of shuttles.
+
+One row per NISQ benchmark plus an aggregate row for the random
+ensemble (mean with standard deviation in parentheses, as the paper
+tabulates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.suite import PAPER_TABLE2_SHUTTLES
+from .harness import BenchmarkComparison
+from .metrics import aggregate, reduction_percent
+from .report import render_markdown_table, render_table
+
+
+@dataclass
+class Table2Row:
+    """One row of Table II."""
+
+    benchmark: str
+    qubits: str
+    two_qubit_gates: str
+    baseline_shuttles: str
+    optimized_shuttles: str
+    delta: str
+    delta_percent: str
+    paper_baseline: int | None = None
+    paper_optimized: int | None = None
+
+    def as_cells(self, with_paper: bool = False) -> list[str]:
+        cells = [
+            self.benchmark,
+            self.qubits,
+            self.two_qubit_gates,
+            self.baseline_shuttles,
+            self.optimized_shuttles,
+            self.delta,
+            self.delta_percent,
+        ]
+        if with_paper:
+            paper = (
+                f"{self.paper_baseline} -> {self.paper_optimized}"
+                if self.paper_baseline is not None
+                else "-"
+            )
+            cells.append(paper)
+        return cells
+
+
+HEADERS = [
+    "Benchmark",
+    "Qubits",
+    "2Q gates",
+    "[7]",
+    "This Work",
+    "Delta(v)",
+    "%Delta",
+]
+
+HEADERS_WITH_PAPER = HEADERS + ["Paper ([7] -> work)"]
+
+
+def build_table2(comparisons: list[BenchmarkComparison]) -> list[Table2Row]:
+    """Collapse a suite run into Table II rows."""
+    rows: list[Table2Row] = []
+    randoms = [c for c in comparisons if c.is_random]
+    for comparison in comparisons:
+        if comparison.is_random:
+            continue
+        paper = PAPER_TABLE2_SHUTTLES.get(comparison.circuit_name)
+        rows.append(
+            Table2Row(
+                benchmark=comparison.circuit_name,
+                qubits=str(comparison.num_qubits),
+                two_qubit_gates=str(comparison.num_two_qubit_gates),
+                baseline_shuttles=str(comparison.baseline.num_shuttles),
+                optimized_shuttles=str(comparison.optimized.num_shuttles),
+                delta=str(comparison.shuttle_delta),
+                delta_percent=f"{comparison.shuttle_reduction_percent:.2f}%",
+                paper_baseline=paper[0] if paper else None,
+                paper_optimized=paper[1] if paper else None,
+            )
+        )
+    if randoms:
+        gates = aggregate([c.num_two_qubit_gates for c in randoms])
+        base = aggregate([c.baseline.num_shuttles for c in randoms])
+        opt = aggregate([c.optimized.num_shuttles for c in randoms])
+        delta = aggregate([float(c.shuttle_delta) for c in randoms])
+        pct = aggregate(
+            [c.shuttle_reduction_percent for c in randoms]
+        )
+        qubit_lo = min(c.num_qubits for c in randoms)
+        qubit_hi = max(c.num_qubits for c in randoms)
+        paper = PAPER_TABLE2_SHUTTLES.get("Random")
+        rows.append(
+            Table2Row(
+                benchmark=f"Random (n={len(randoms)})",
+                qubits=f"{qubit_lo}-{qubit_hi}",
+                two_qubit_gates=f"{gates.mean:.0f} ({gates.std:.0f})",
+                baseline_shuttles=f"{base.mean:.0f}",
+                optimized_shuttles=f"{opt.mean:.0f} ({opt.std:.0f})",
+                delta=f"{delta.mean:.0f} ({delta.std:.0f})",
+                delta_percent=f"{pct.mean:.0f}% ({pct.std:.0f})",
+                paper_baseline=paper[0] if paper else None,
+                paper_optimized=paper[1] if paper else None,
+            )
+        )
+    return rows
+
+
+def render_table2(
+    comparisons: list[BenchmarkComparison],
+    with_paper: bool = True,
+    markdown: bool = False,
+) -> str:
+    """Render Table II as text (or markdown for EXPERIMENTS.md)."""
+    rows = build_table2(comparisons)
+    headers = HEADERS_WITH_PAPER if with_paper else HEADERS
+    cells = [row.as_cells(with_paper) for row in rows]
+    renderer = render_markdown_table if markdown else render_table
+    return renderer(headers, cells)
+
+
+def overall_reduction(comparisons: list[BenchmarkComparison]) -> float:
+    """Average %Delta over every circuit in the suite (paper: ~33%,
+    'average ~ 33%' across 125 circuits)."""
+    values = [c.shuttle_reduction_percent for c in comparisons]
+    return aggregate(values).mean if values else 0.0
+
+
+def wins_everywhere(comparisons: list[BenchmarkComparison]) -> bool:
+    """The paper's stability claim: fewer shuttles on *every* circuit."""
+    return all(
+        c.optimized.num_shuttles <= c.baseline.num_shuttles
+        for c in comparisons
+    )

@@ -1,0 +1,95 @@
+"""Table III regeneration: compilation-time overhead.
+
+Wall-clock compile times of both compilers on this host.  Absolute
+numbers depend on the machine (the paper used an i7-9700K); the shape
+to check is that the optimized compiler costs more time but remains
+tractable (the paper: seconds to tens of seconds, under a minute even
+for 3000-4000 gate circuits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.suite import PAPER_TABLE3_SECONDS
+from .harness import BenchmarkComparison
+from .metrics import aggregate
+from .report import render_markdown_table, render_table
+
+
+@dataclass
+class Table3Row:
+    """One row of Table III."""
+
+    benchmark: str
+    optimized_seconds: str
+    baseline_seconds: str
+    overhead_seconds: str
+    paper_optimized: float | None
+    paper_baseline: float | None
+
+
+def build_table3(comparisons: list[BenchmarkComparison]) -> list[Table3Row]:
+    """Collapse a suite run into Table III rows."""
+    rows: list[Table3Row] = []
+    randoms = [c for c in comparisons if c.is_random]
+    for comparison in comparisons:
+        if comparison.is_random:
+            continue
+        paper = PAPER_TABLE3_SECONDS.get(comparison.circuit_name)
+        rows.append(
+            Table3Row(
+                benchmark=comparison.circuit_name,
+                optimized_seconds=f"{comparison.optimized.compile_time:.3f}",
+                baseline_seconds=f"{comparison.baseline.compile_time:.3f}",
+                overhead_seconds=f"{comparison.compile_time_overhead:.3f}",
+                paper_optimized=paper[0] if paper else None,
+                paper_baseline=paper[1] if paper else None,
+            )
+        )
+    if randoms:
+        opt = aggregate([c.optimized.compile_time for c in randoms])
+        base = aggregate([c.baseline.compile_time for c in randoms])
+        over = aggregate([c.compile_time_overhead for c in randoms])
+        paper = PAPER_TABLE3_SECONDS.get("Random")
+        rows.append(
+            Table3Row(
+                benchmark=f"Random (n={len(randoms)})",
+                optimized_seconds=f"{opt.mean:.3f} ({opt.std:.3f})",
+                baseline_seconds=f"{base.mean:.3f}",
+                overhead_seconds=f"{over.mean:.3f} ({over.std:.3f})",
+                paper_optimized=paper[0] if paper else None,
+                paper_baseline=paper[1] if paper else None,
+            )
+        )
+    return rows
+
+
+def render_table3(
+    comparisons: list[BenchmarkComparison], markdown: bool = False
+) -> str:
+    """Render Table III as text or markdown."""
+    rows = build_table3(comparisons)
+    headers = [
+        "Benchmark",
+        "This work (s)",
+        "[7] (s)",
+        "Delta(^) (s)",
+        "Paper (work / [7]) (s)",
+    ]
+    cells = [
+        [
+            row.benchmark,
+            row.optimized_seconds,
+            row.baseline_seconds,
+            row.overhead_seconds,
+            (
+                f"{row.paper_optimized} / {row.paper_baseline}"
+                if row.paper_optimized is not None
+                else "-"
+            ),
+        ]
+        for row in rows
+    ]
+    renderer = render_markdown_table if markdown else render_table
+    return renderer(headers, cells)

@@ -1,0 +1,111 @@
+"""Compiled machine schedule.
+
+The compiler's output: an ordered stream of machine ops plus summary
+statistics.  The schedule is the contract between compiler and
+simulator — the simulator validates it instruction by instruction, so a
+buggy compiler cannot silently produce an inexecutable program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from .ops import GateOp, MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
+
+
+class Schedule:
+    """Ordered machine-op stream produced by compilation."""
+
+    def __init__(self, ops: Iterable[MachineOp] = ()) -> None:
+        self._ops: list[MachineOp] = list(ops)
+
+    def append(self, op: MachineOp) -> None:
+        """Append one machine op."""
+        self._ops.append(op)
+
+    def extend(self, ops: Iterable[MachineOp]) -> None:
+        """Append several machine ops."""
+        self._ops.extend(ops)
+
+    @property
+    def ops(self) -> tuple[MachineOp, ...]:
+        """The op stream as an immutable tuple."""
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[MachineOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> MachineOp:
+        return self._ops[index]
+
+    # ------------------------------------------------------------------
+    # Statistics (the quantities the paper reports)
+    # ------------------------------------------------------------------
+    @property
+    def num_shuttles(self) -> int:
+        """Number of shuttles = number of MoveOps (Table II metric)."""
+        return sum(1 for op in self._ops if isinstance(op, MoveOp))
+
+    @property
+    def num_gates(self) -> int:
+        """Number of executed gates."""
+        return sum(1 for op in self._ops if isinstance(op, GateOp))
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of executed two-qubit gates."""
+        return sum(
+            1
+            for op in self._ops
+            if isinstance(op, GateOp) and op.gate.is_two_qubit
+        )
+
+    @property
+    def num_splits(self) -> int:
+        """Number of SplitOps."""
+        return sum(1 for op in self._ops if isinstance(op, SplitOp))
+
+    @property
+    def num_merges(self) -> int:
+        """Number of MergeOps."""
+        return sum(1 for op in self._ops if isinstance(op, MergeOp))
+
+    @property
+    def num_swaps(self) -> int:
+        """Number of in-chain SwapOps (chain-order tracking only)."""
+        return sum(1 for op in self._ops if isinstance(op, SwapOp))
+
+    def shuttles_by_reason(self) -> Counter:
+        """Shuttle counts attributed to gate routing vs re-balancing."""
+        counts: Counter = Counter()
+        for op in self._ops:
+            if isinstance(op, MoveOp):
+                counts[op.reason] += 1
+        return counts
+
+    @property
+    def shuttle_to_gate_ratio(self) -> float:
+        """Shuttles per two-qubit gate (Section IV-C's predictor of
+        fidelity improvement)."""
+        gates = self.num_two_qubit_gates
+        return self.num_shuttles / gates if gates else 0.0
+
+    def count_kinds(self) -> Counter:
+        """Histogram over op kinds (gate/split/move/merge)."""
+        return Counter(op.kind for op in self._ops)
+
+    def gate_ops(self) -> list[GateOp]:
+        """All GateOps in order."""
+        return [op for op in self._ops if isinstance(op, GateOp)]
+
+    def __repr__(self) -> str:
+        kinds = self.count_kinds()
+        return (
+            f"Schedule(gates={kinds.get('gate', 0)}, "
+            f"shuttles={kinds.get('move', 0)}, "
+            f"splits={kinds.get('split', 0)}, merges={kinds.get('merge', 0)})"
+        )

@@ -1,0 +1,13 @@
+"""Text-based visualisation helpers (no plotting dependencies)."""
+
+from .timeline import gate_trap_histogram, schedule_summary, shuttle_trace
+from .trapview import render_chains, render_occupancy_bar, render_topology
+
+__all__ = [
+    "gate_trap_histogram",
+    "render_chains",
+    "render_occupancy_bar",
+    "render_topology",
+    "schedule_summary",
+    "shuttle_trace",
+]

@@ -1,0 +1,47 @@
+"""Textual schedule inspection: shuttle traces and op summaries."""
+
+from __future__ import annotations
+
+from ..sim.ops import GateOp, MergeOp, MoveOp, SplitOp
+from ..sim.schedule import Schedule
+
+
+def shuttle_trace(schedule: Schedule, limit: int | None = None) -> str:
+    """One line per shuttle-related op, e.g. ``move ion 2: T0 -> T1``."""
+    lines = []
+    for op in schedule:
+        if isinstance(op, SplitOp):
+            lines.append(f"split ion {op.ion} from T{op.trap} [{op.reason.value}]")
+        elif isinstance(op, MoveOp):
+            lines.append(
+                f"move  ion {op.ion}: T{op.src} -> T{op.dst} [{op.reason.value}]"
+            )
+        elif isinstance(op, MergeOp):
+            lines.append(f"merge ion {op.ion} into T{op.trap} [{op.reason.value}]")
+        if limit is not None and len(lines) >= limit:
+            lines.append("...")
+            break
+    return "\n".join(lines) if lines else "(no shuttles)"
+
+
+def schedule_summary(schedule: Schedule) -> str:
+    """Aggregate op counts and the shuttle/gate ratio."""
+    kinds = schedule.count_kinds()
+    ratio = schedule.shuttle_to_gate_ratio
+    return (
+        f"gates={kinds.get('gate', 0)} "
+        f"(2q={schedule.num_two_qubit_gates}) "
+        f"splits={kinds.get('split', 0)} "
+        f"moves={kinds.get('move', 0)} "
+        f"merges={kinds.get('merge', 0)} "
+        f"shuttle/gate={ratio:.3f}"
+    )
+
+
+def gate_trap_histogram(schedule: Schedule) -> dict[int, int]:
+    """How many gates ran in each trap (load-balance diagnostics)."""
+    histogram: dict[int, int] = {}
+    for op in schedule:
+        if isinstance(op, GateOp):
+            histogram[op.trap] = histogram.get(op.trap, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,62 @@
+"""ASCII rendering of trap occupancy (the paper's Fig. 1/Fig. 4 style)."""
+
+from __future__ import annotations
+
+from ..arch.machine import QCCDMachine
+
+
+def render_chains(
+    machine: QCCDMachine,
+    chains: dict[int, list[int]],
+    label: str = "",
+) -> str:
+    """Draw the machine's traps with their current ion chains.
+
+    Example output::
+
+        T0 (EC=2): [0 1 2]
+        T1 (EC=1): [3 4 5]
+    """
+    lines = []
+    if label:
+        lines.append(label)
+    for trap_id in range(machine.num_traps):
+        spec = machine.trap(trap_id)
+        chain = chains.get(trap_id, [])
+        excess = spec.capacity - len(chain)
+        ions = " ".join(str(ion) for ion in chain)
+        lines.append(f"T{trap_id} (EC={excess}): [{ions}]")
+    return "\n".join(lines)
+
+
+def render_topology(machine: QCCDMachine) -> str:
+    """Draw the trap interconnect as adjacency lines.
+
+    Linear topologies render as ``T0 -- T1 -- T2 ...``; general graphs
+    fall back to an edge list.
+    """
+    topology = machine.topology
+    linear = all(
+        set(topology.neighbors(t))
+        <= {t - 1, t + 1}
+        for t in range(topology.num_traps)
+    )
+    if linear:
+        return " -- ".join(f"T{t}" for t in range(topology.num_traps))
+    lines = [f"{topology.name}:"]
+    for a, b in topology.edges:
+        lines.append(f"  T{a} -- T{b}")
+    return "\n".join(lines)
+
+
+def render_occupancy_bar(
+    machine: QCCDMachine, chains: dict[int, list[int]]
+) -> str:
+    """Compact per-trap occupancy bars (# = ion, . = free slot)."""
+    lines = []
+    for trap_id in range(machine.num_traps):
+        spec = machine.trap(trap_id)
+        used = len(chains.get(trap_id, []))
+        bar = "#" * used + "." * (spec.capacity - used)
+        lines.append(f"T{trap_id} |{bar}| {used}/{spec.capacity}")
+    return "\n".join(lines)

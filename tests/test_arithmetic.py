@@ -1,0 +1,126 @@
+"""Classical verification of the reversible-arithmetic substrate."""
+
+import pytest
+
+from repro.bench.arithmetic import (
+    adder_circuit,
+    mct_vchain,
+    mcz_vchain,
+    ripple_adder,
+    ripple_subtractor,
+    run_classical,
+)
+from repro.circuits.gate import Gate
+
+
+def pack(values_and_widths):
+    """Pack (value, width) pairs LSB-first into one integer state."""
+    state = 0
+    offset = 0
+    for value, width in values_and_widths:
+        state |= (value & ((1 << width) - 1)) << offset
+        offset += width
+    return state
+
+
+def unpack(state, offset, width):
+    return (state >> offset) & ((1 << width) - 1)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 0), (3, 5), (7, 7), (6, 1)])
+    def test_addition_mod_2n(self, a, b):
+        n = 3
+        a_bits = list(range(n))
+        b_bits = list(range(n, 2 * n))
+        carry = 2 * n
+        gates = list(ripple_adder(a_bits, b_bits, carry))
+        state = pack([(a, n), (b, n), (0, 1)])
+        out = run_classical(gates, 2 * n + 1, state)
+        assert unpack(out, n, n) == (a + b) % (1 << n)  # b += a
+        assert unpack(out, 0, n) == a  # a unchanged
+        assert unpack(out, 2 * n, 1) == 0  # carry ancilla restored
+
+    @pytest.mark.parametrize("a,b", [(7, 1), (5, 5), (4, 4)])
+    def test_carry_out(self, a, b):
+        n = 3
+        a_bits = list(range(n))
+        b_bits = list(range(n, 2 * n))
+        carry = 2 * n
+        carry_out = 2 * n + 1
+        gates = list(ripple_adder(a_bits, b_bits, carry, carry_out))
+        state = pack([(a, n), (b, n), (0, 1), (0, 1)])
+        out = run_classical(gates, 2 * n + 2, state)
+        total = a + b
+        assert unpack(out, n, n) == total % (1 << n)
+        assert unpack(out, 2 * n + 1, 1) == total >> n
+
+    def test_exhaustive_two_bit(self):
+        n = 2
+        a_bits = [0, 1]
+        b_bits = [2, 3]
+        gates = list(ripple_adder(a_bits, b_bits, 4))
+        for a in range(4):
+            for b in range(4):
+                out = run_classical(gates, 5, pack([(a, 2), (b, 2), (0, 1)]))
+                assert unpack(out, 2, 2) == (a + b) % 4
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            list(ripple_adder([0], [1, 2], 3))
+
+    def test_adder_circuit_wrapper(self):
+        circuit = adder_circuit(4)
+        assert circuit.num_qubits == 9
+        assert circuit.num_two_qubit_gates > 0
+
+
+class TestRippleSubtractor:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 3), (3, 1), (5, 5), (7, 2)])
+    def test_subtraction_mod_2n(self, a, b):
+        n = 3
+        a_bits = list(range(n))
+        b_bits = list(range(n, 2 * n))
+        gates = list(ripple_subtractor(a_bits, b_bits, 2 * n))
+        out = run_classical(gates, 2 * n + 1, pack([(a, n), (b, n), (0, 1)]))
+        assert unpack(out, n, n) == (b - a) % (1 << n)
+
+
+class TestMultiControlled:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_mct_truth_table(self, k):
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, k + 1 + max(0, k - 2)))
+        num_qubits = k + 1 + len(ancillas)
+        gates = list(mct_vchain(controls, target, ancillas))
+        for pattern in range(1 << k):
+            state = pattern  # controls in low bits, target 0, ancillas 0
+            out = run_classical(gates, num_qubits, state)
+            expected_flip = pattern == (1 << k) - 1
+            assert unpack(out, k, 1) == (1 if expected_flip else 0)
+            # ancillas restored
+            assert out >> (k + 1) == 0
+            # controls unchanged
+            assert unpack(out, 0, k) == pattern
+
+    def test_mct_zero_controls_is_x(self):
+        gates = list(mct_vchain([], 0, []))
+        assert gates == [Gate("x", (0,))]
+
+    def test_mct_insufficient_ancillas(self):
+        with pytest.raises(ValueError):
+            list(mct_vchain([0, 1, 2, 3], 4, []))
+
+    def test_mcz_structure(self):
+        gates = list(mcz_vchain([0, 1, 2], 3, [4]))
+        assert gates[0] == Gate("h", (3,))
+        assert gates[-1] == Gate("h", (3,))
+
+    def test_run_classical_rejects_non_classical(self):
+        with pytest.raises(ValueError):
+            run_classical([Gate("h", (0,))], 1, 0)
+
+    def test_run_classical_width_guard(self):
+        with pytest.raises(ValueError):
+            run_classical([Gate("x", (3,))], 2, 0)

@@ -1,0 +1,151 @@
+"""Unit tests for repro.circuits.circuit."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate, GateError
+
+
+def sample_circuit() -> Circuit:
+    return Circuit(
+        4,
+        [
+            Gate("h", (0,)),
+            Gate("ms", (0, 1)),
+            Gate("ms", (2, 3)),
+            Gate("ms", (1, 2)),
+        ],
+        name="sample",
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        circuit = Circuit(3)
+        assert len(circuit) == 0
+        assert circuit.num_qubits == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+        with pytest.raises(ValueError):
+            Circuit(-2)
+
+    def test_gate_out_of_range_rejected(self):
+        circuit = Circuit(2)
+        with pytest.raises(GateError):
+            circuit.append(Gate("ms", (0, 5)))
+
+    def test_append_returns_self(self):
+        circuit = Circuit(2)
+        assert circuit.append(Gate("h", (0,))) is circuit
+
+    def test_append_type_checked(self):
+        with pytest.raises(TypeError):
+            Circuit(2).append("ms 0 1")  # type: ignore[arg-type]
+
+    def test_add_convenience(self):
+        circuit = Circuit(2).add("ms", 0, 1).add("rz", 0, params=[0.5])
+        assert len(circuit) == 2
+        assert circuit[1].params == (0.5,)
+
+    def test_extend(self):
+        circuit = Circuit(2)
+        circuit.extend([Gate("h", (0,)), Gate("h", (1,))])
+        assert len(circuit) == 2
+
+    def test_compose(self):
+        a = Circuit(3).add("ms", 0, 1)
+        b = Circuit(2).add("ms", 0, 1)
+        a.compose(b)
+        assert len(a) == 2
+
+    def test_compose_too_large_rejected(self):
+        small = Circuit(2)
+        big = Circuit(5).add("ms", 3, 4)
+        with pytest.raises(GateError):
+            small.compose(big)
+
+
+class TestAccess:
+    def test_iteration_order(self):
+        circuit = sample_circuit()
+        names = [g.name for g in circuit]
+        assert names == ["h", "ms", "ms", "ms"]
+
+    def test_indexing(self):
+        assert sample_circuit()[1].qubits == (0, 1)
+
+    def test_equality(self):
+        assert sample_circuit() == sample_circuit()
+        other = sample_circuit()
+        other.add("h", 3)
+        assert sample_circuit() != other
+
+    def test_gates_tuple_immutable(self):
+        gates = sample_circuit().gates
+        assert isinstance(gates, tuple)
+
+    def test_repr_mentions_name(self):
+        assert "sample" in repr(sample_circuit())
+
+
+class TestStatistics:
+    def test_count_ops(self):
+        counts = sample_circuit().count_ops()
+        assert counts["ms"] == 3
+        assert counts["h"] == 1
+
+    def test_two_qubit_count(self):
+        assert sample_circuit().num_two_qubit_gates == 3
+        assert sample_circuit().num_one_qubit_gates == 1
+
+    def test_two_qubit_gates_list(self):
+        gates = sample_circuit().two_qubit_gates()
+        assert len(gates) == 3
+        assert all(g.is_two_qubit for g in gates)
+
+    def test_used_qubits(self):
+        assert sample_circuit().used_qubits() == {0, 1, 2, 3}
+        assert Circuit(5).add("ms", 1, 3).used_qubits() == {1, 3}
+
+    def test_depth_serial_chain(self):
+        circuit = Circuit(2)
+        for _ in range(5):
+            circuit.add("ms", 0, 1)
+        assert circuit.depth() == 5
+
+    def test_depth_parallel_gates(self):
+        circuit = Circuit(4).add("ms", 0, 1).add("ms", 2, 3)
+        assert circuit.depth() == 1
+
+    def test_depth_empty(self):
+        assert Circuit(3).depth() == 0
+
+    def test_interaction_pairs_unordered(self):
+        circuit = Circuit(3).add("ms", 1, 0).add("ms", 0, 1)
+        pairs = circuit.interaction_pairs()
+        assert pairs[(0, 1)] == 2
+
+
+class TestTransforms:
+    def test_remap(self):
+        circuit = Circuit(2).add("ms", 0, 1)
+        remapped = circuit.remap({0: 3, 1: 1}, num_qubits=4)
+        assert remapped[0].qubits == (3, 1)
+        assert remapped.num_qubits == 4
+
+    def test_without_one_qubit_gates(self):
+        pruned = sample_circuit().without_one_qubit_gates()
+        assert len(pruned) == 3
+        assert all(not g.is_one_qubit for g in pruned)
+
+    def test_copy_independent(self):
+        original = sample_circuit()
+        duplicate = original.copy()
+        duplicate.add("h", 0)
+        assert len(original) == 4
+        assert len(duplicate) == 5
+
+    def test_copy_rename(self):
+        assert sample_circuit().copy(name="new").name == "new"

@@ -1,0 +1,55 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table2", "table3", "fig8", "ablation", "info"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_compile_arguments(self):
+        args = build_parser().parse_args(
+            ["compile", "random", "--qubits", "12", "--gates", "30"]
+        )
+        assert args.benchmark == "random"
+        assert args.qubits == 12
+
+
+class TestExecution:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "L6" in out
+        assert "T0 -- T1" in out
+
+    def test_info_other_machines(self, capsys):
+        assert main(["info", "--machine", "linear3"]) == 0
+        assert main(["info", "--machine", "ring4"]) == 0
+        assert main(["info", "--machine", "grid2x3"]) == 0
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--machine", "warp9"])
+
+    def test_compile_random_small(self, capsys):
+        code = main(
+            ["compile", "random", "--qubits", "12", "--gates", "40",
+             "--seed", "2", "--trace", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shuttle reduction" in out
+        assert "baseline [7]" in out
+
+    def test_compile_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "frobnicate"])

@@ -1,0 +1,134 @@
+"""Unit tests for the gate dependency DAG (paper Section II-A)."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import DependencyDAG
+from repro.circuits.gate import Gate
+
+
+def paper_fig2_circuit() -> Circuit:
+    """The 9-gate sample program of the paper's Fig. 2a."""
+    pairs = [
+        (0, 1),  # g1
+        (2, 3),  # g2
+        (2, 0),  # g3
+        (4, 5),  # g4
+        (0, 3),  # g5
+        (2, 5),  # g6
+        (4, 5),  # g7
+        (0, 1),  # g8
+        (2, 3),  # g9
+    ]
+    return Circuit(6, [Gate("ms", p) for p in pairs], name="fig2")
+
+
+class TestPaperFig2:
+    """The DAG must reproduce the paper's Fig. 2b layer structure."""
+
+    def test_layers_match_figure(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        # Fig. 2b: L0 = {g1, g2, g4}, L1 = {g3}, L2 = {g5, g6},
+        # L3 = {g7, g8, g9}  (1-indexed gates; 0-indexed here)
+        assert dag.layer(0) == [0, 1, 3]
+        assert dag.layer(1) == [2]
+        assert dag.layer(2) == [4, 5]
+        assert dag.layer(3) == [6, 7, 8]
+        assert dag.num_layers == 4
+
+    def test_g5_and_g6_depend_on_g3(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        assert 2 in dag.predecessors(4)  # g5 <- g3
+        assert 2 in dag.predecessors(5)  # g6 <- g3
+
+    def test_successors_inverse_of_predecessors(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        for index in range(len(dag)):
+            for pred in dag.predecessors(index):
+                assert index in dag.successors(pred)
+
+    def test_topological_order_is_valid(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        order = dag.topological_order()
+        assert dag.is_valid_order(order)
+
+    def test_earliest_ready_first_order(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        # Gates are emitted as they become ready (FIFO), like the
+        # paper's Fig. 2c order (which likewise interleaves within
+        # layers: g2 g1 g4 g3 g5 g6 g8 g9 g7).
+        order = dag.topological_order()
+        assert order == [0, 1, 3, 2, 4, 5, 7, 6, 8]
+        # Layer numbers never decrease along the emitted order by more
+        # than the readiness structure allows: every prefix is closed
+        # under predecessors.
+        executed = set()
+        for index in order:
+            assert all(p in executed for p in dag.predecessors(index))
+            executed.add(index)
+
+
+class TestDagBasics:
+    def test_empty_circuit(self):
+        dag = DependencyDAG(Circuit(2))
+        assert len(dag) == 0
+        assert dag.topological_order() == []
+        assert dag.num_layers == 0
+
+    def test_single_gate(self):
+        dag = DependencyDAG(Circuit(2).add("ms", 0, 1))
+        assert dag.layer_of(0) == 0
+        assert dag.predecessors(0) == ()
+        assert dag.successors(0) == ()
+
+    def test_serial_chain_layers(self):
+        circuit = Circuit(2)
+        for _ in range(4):
+            circuit.add("ms", 0, 1)
+        dag = DependencyDAG(circuit)
+        assert [dag.layer_of(i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_one_qubit_gates_chain_on_their_qubit(self):
+        circuit = Circuit(2).add("h", 0).add("h", 0).add("h", 1)
+        dag = DependencyDAG(circuit)
+        assert dag.layer_of(0) == 0
+        assert dag.layer_of(1) == 1
+        assert dag.layer_of(2) == 0
+
+    def test_gate_accessor(self):
+        circuit = Circuit(2).add("ms", 0, 1)
+        assert DependencyDAG(circuit).gate(0) == Gate("ms", (0, 1))
+
+    def test_single_predecessor_edge_per_pair(self):
+        # Both qubits of gate 1 last touched by gate 0: one edge only.
+        circuit = Circuit(2).add("ms", 0, 1).add("ms", 0, 1)
+        dag = DependencyDAG(circuit)
+        assert dag.predecessors(1) == (0,)
+
+    def test_layers_partition_all_gates(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        seen = [i for layer in dag.layers() for i in layer]
+        assert sorted(seen) == list(range(9))
+
+
+class TestOrderValidation:
+    def test_is_valid_order_rejects_non_permutation(self):
+        dag = DependencyDAG(Circuit(2).add("ms", 0, 1).add("ms", 0, 1))
+        assert not dag.is_valid_order([0])
+        assert not dag.is_valid_order([0, 0])
+
+    def test_is_valid_order_rejects_dependency_violation(self):
+        dag = DependencyDAG(Circuit(2).add("ms", 0, 1).add("ms", 0, 1))
+        assert not dag.is_valid_order([1, 0])
+        assert dag.is_valid_order([0, 1])
+
+    def test_ready_after(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        # Initially the three layer-0 gates are ready.
+        assert dag.ready_after([]) == {0, 1, 3}
+        # After g1 and g2 execute, g3 becomes ready (and g4 still is).
+        assert dag.ready_after([0, 1]) == {2, 3}
+
+    def test_ready_after_all_executed(self):
+        dag = DependencyDAG(paper_fig2_circuit())
+        assert dag.ready_after(range(9)) == set()

@@ -1,0 +1,108 @@
+"""Exact shuttle-minimal solver (Section IV-E1's heuristic-vs-exact study)."""
+
+import random
+
+import pytest
+
+from repro.arch import linear_topology, uniform_machine
+from repro.circuits.circuit import Circuit
+from repro.compiler import CompilerConfig, compile_circuit
+from repro.eval.exact import ExactSolverError, optimal_shuttle_count
+
+
+def machine(traps=3, capacity=4, comm=1):
+    return uniform_machine(linear_topology(traps), capacity, comm)
+
+
+class TestExactSolver:
+    def test_local_program_costs_zero(self):
+        circuit = Circuit(4).add("ms", 0, 1).add("ms", 2, 3)
+        count = optimal_shuttle_count(
+            circuit, machine(), {0: [0, 1], 1: [2, 3]}
+        )
+        assert count == 0
+
+    def test_single_cross_gate_costs_distance(self):
+        circuit = Circuit(2).add("ms", 0, 1)
+        count = optimal_shuttle_count(
+            circuit, machine(traps=3), {0: [0], 2: [1]}
+        )
+        assert count == 2
+
+    def test_fig4_optimum_is_one(self):
+        """The paper's Fig. 4: the optimum equals the future-ops result."""
+        circuit = Circuit(5)
+        for a, b in [(1, 2), (2, 3), (1, 2), (2, 4)]:
+            circuit.add("ms", a, b)
+        m = uniform_machine(linear_topology(2), 4, 1)
+        count = optimal_shuttle_count(circuit, m, {0: [0, 1], 1: [2, 3, 4]})
+        assert count == 1
+
+    def test_empty_circuit(self):
+        assert optimal_shuttle_count(Circuit(3), machine(), {0: [0, 1, 2]}) == 0
+
+    def test_capacity_constraints_force_eviction(self):
+        # T0 and T1 are full; co-locating ions 0 and 3 requires first
+        # evicting one ion from T1 into T2, then moving ion 0 over.
+        circuit = Circuit(5).add("ms", 0, 3)
+        m = uniform_machine(linear_topology(3), 2, 1)
+        chains = {0: [0, 1], 1: [2, 3], 2: [4]}
+        count = optimal_shuttle_count(circuit, m, chains)
+        assert count == 2  # one eviction + one gate move
+
+    def test_fully_packed_machine_is_infeasible_in_atomic_model(self):
+        # Exact moves are atomic (no transient split slot), so a machine
+        # with zero spare capacity deadlocks; the solver reports it.
+        circuit = Circuit(4).add("ms", 0, 3)
+        m = uniform_machine(linear_topology(2), 2, 1)
+        with pytest.raises(ExactSolverError):
+            optimal_shuttle_count(circuit, m, {0: [0, 1], 1: [2, 3]})
+
+    def test_instance_budget_guard(self):
+        with pytest.raises(ExactSolverError):
+            optimal_shuttle_count(
+                Circuit(30), uniform_machine(linear_topology(4), 10, 1), {}
+            )
+
+
+class TestHeuristicGap:
+    """optimal <= optimized <= baseline on random small instances."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sandwich(self, seed):
+        rng = random.Random(seed)
+        num_ions = 6
+        circuit = Circuit(num_ions)
+        for _ in range(10):
+            a, b = rng.sample(range(num_ions), 2)
+            circuit.add("ms", a, b)
+        m = machine(traps=3, capacity=4, comm=1)
+        chains = {0: [0, 1], 1: [2, 3], 2: [4, 5]}
+        optimal = optimal_shuttle_count(circuit, m, chains)
+        optimized = compile_circuit(
+            circuit, m, CompilerConfig.optimized(), initial_chains=chains
+        ).num_shuttles
+        baseline = compile_circuit(
+            circuit, m, CompilerConfig.baseline(), initial_chains=chains
+        ).num_shuttles
+        assert optimal <= optimized
+        assert optimal <= baseline
+
+    def test_heuristic_usually_near_optimal(self):
+        """Aggregate gap study: the optimized heuristic should land
+        within 2x of optimal on tiny instances."""
+        total_optimal = 0
+        total_heuristic = 0
+        for seed in range(10):
+            rng = random.Random(100 + seed)
+            circuit = Circuit(6)
+            for _ in range(8):
+                a, b = rng.sample(range(6), 2)
+                circuit.add("ms", a, b)
+            m = machine(traps=3, capacity=4, comm=1)
+            chains = {0: [0, 1], 1: [2, 3], 2: [4, 5]}
+            total_optimal += optimal_shuttle_count(circuit, m, chains)
+            total_heuristic += compile_circuit(
+                circuit, m, CompilerConfig.optimized(), initial_chains=chains
+            ).num_shuttles
+        assert total_heuristic <= 2 * total_optimal

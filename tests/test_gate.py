@@ -1,0 +1,161 @@
+"""Unit tests for repro.circuits.gate."""
+
+import math
+
+import pytest
+
+from repro.circuits.gate import (
+    ONE_QUBIT_GATES,
+    THREE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    GateError,
+    cp,
+    cx,
+    cz,
+    h,
+    ms,
+    rx,
+    ry,
+    rz,
+    rzz,
+    swap,
+    x,
+)
+
+
+class TestGateConstruction:
+    def test_basic_two_qubit(self):
+        gate = Gate("ms", (0, 1))
+        assert gate.name == "ms"
+        assert gate.qubits == (0, 1)
+        assert gate.params == ()
+
+    def test_name_lowercased(self):
+        assert Gate("MS", (0, 1)).name == "ms"
+
+    def test_qubits_coerced_to_int(self):
+        gate = Gate("ms", (0.0, 1.0))  # type: ignore[arg-type]
+        assert gate.qubits == (0, 1)
+        assert all(isinstance(q, int) for q in gate.qubits)
+
+    def test_params_coerced_to_float(self):
+        gate = Gate("rz", (0,), (1,))
+        assert gate.params == (1.0,)
+
+    def test_empty_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("ms", ())
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("ms", (3, 3))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(GateError):
+            Gate("ms", (-1, 0))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(GateError):
+            Gate("ms", (0, 1, 2))
+        with pytest.raises(GateError):
+            Gate("h", (0, 1))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(GateError):
+            Gate("rz", (0,))
+        with pytest.raises(GateError):
+            Gate("rz", (0,), (1.0, 2.0))
+
+    def test_unknown_gate_allowed_any_arity(self):
+        gate = Gate("mystery", (0, 1, 2, 3))
+        assert gate.num_qubits == 4
+
+
+class TestGateProperties:
+    def test_is_one_qubit(self):
+        assert Gate("h", (2,)).is_one_qubit
+        assert not Gate("ms", (0, 1)).is_one_qubit
+
+    def test_is_two_qubit(self):
+        assert Gate("ms", (0, 1)).is_two_qubit
+        assert not Gate("h", (0,)).is_two_qubit
+        assert not Gate("ccx", (0, 1, 2)).is_two_qubit
+
+    def test_expected_arity(self):
+        assert Gate.expected_arity("h") == 1
+        assert Gate.expected_arity("cx") == 2
+        assert Gate.expected_arity("ccx") == 3
+        assert Gate.expected_arity("nope") is None
+
+    def test_gate_sets_disjoint(self):
+        assert not ONE_QUBIT_GATES & TWO_QUBIT_GATES
+        assert not TWO_QUBIT_GATES & THREE_QUBIT_GATES
+
+    def test_frozen(self):
+        gate = Gate("ms", (0, 1))
+        with pytest.raises(AttributeError):
+            gate.name = "cx"  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert Gate("ms", (0, 1)) == Gate("ms", (0, 1))
+        assert Gate("ms", (0, 1)) != Gate("ms", (1, 0))
+        assert hash(Gate("rz", (0,), (0.5,))) == hash(Gate("rz", (0,), (0.5,)))
+
+
+class TestGateTransforms:
+    def test_on(self):
+        gate = Gate("rz", (0,), (0.3,))
+        moved = gate.on(5)
+        assert moved.qubits == (5,)
+        assert moved.params == (0.3,)
+
+    def test_remap(self):
+        gate = Gate("ms", (0, 1))
+        assert gate.remap({0: 7, 1: 2}).qubits == (7, 2)
+
+    def test_remap_missing_raises(self):
+        with pytest.raises(KeyError):
+            Gate("ms", (0, 1)).remap({0: 7})
+
+
+class TestGateFormatting:
+    def test_str_plain(self):
+        assert str(Gate("ms", (0, 1))) == "ms q[0], q[1];"
+
+    def test_str_with_pi_param(self):
+        assert str(Gate("rz", (0,), (math.pi,))) == "rz(pi) q[0];"
+
+    def test_str_with_pi_fraction(self):
+        assert str(Gate("rz", (0,), (math.pi / 2,))) == "rz(pi/2) q[0];"
+
+    def test_str_with_negative_fraction(self):
+        assert str(Gate("rz", (0,), (-math.pi / 4,))) == "rz(-pi/4) q[0];"
+
+    def test_str_zero_param(self):
+        assert str(Gate("rz", (0,), (0.0,))) == "rz(0) q[0];"
+
+
+class TestConstructors:
+    def test_ms(self):
+        assert ms(0, 1) == Gate("ms", (0, 1))
+
+    def test_cx(self):
+        assert cx(2, 3) == Gate("cx", (2, 3))
+
+    def test_cz(self):
+        assert cz(0, 1) == Gate("cz", (0, 1))
+
+    def test_cp(self):
+        assert cp(0.5, 0, 1) == Gate("cp", (0, 1), (0.5,))
+
+    def test_swap(self):
+        assert swap(0, 1) == Gate("swap", (0, 1))
+
+    def test_single_qubit_helpers(self):
+        assert h(0) == Gate("h", (0,))
+        assert x(1) == Gate("x", (1,))
+        assert rx(0.1, 0) == Gate("rx", (0,), (0.1,))
+        assert ry(0.2, 0) == Gate("ry", (0,), (0.2,))
+        assert rz(0.3, 0) == Gate("rz", (0,), (0.3,))
+        assert rzz(0.4, 0, 1) == Gate("rzz", (0, 1), (0.4,))

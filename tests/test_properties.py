@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import linear_topology, ring_topology, uniform_machine
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import DependencyDAG
+from repro.circuits.gate import Gate
+from repro.circuits.qasm import parse_qasm
+from repro.circuits.qasm_writer import circuit_to_qasm
+from repro.compiler import CompilerConfig, compile_circuit
+from repro.sim.simulator import Simulator
+
+_SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def circuits(draw, max_qubits=10, max_gates=40):
+    """Random two-qubit-gate circuits."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = Circuit(num_qubits, name="hyp")
+    for _ in range(num_gates):
+        a = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+        b = draw(
+            st.integers(min_value=0, max_value=num_qubits - 1).filter(
+                lambda v, a=a: v != a
+            )
+        )
+        circuit.add("ms", a, b)
+    return circuit
+
+
+@st.composite
+def machines(draw):
+    traps = draw(st.integers(min_value=2, max_value=5))
+    capacity = draw(st.integers(min_value=4, max_value=8))
+    comm = draw(st.integers(min_value=1, max_value=2))
+    ring = draw(st.booleans())
+    topology = (
+        ring_topology(max(traps, 3)) if ring else linear_topology(traps)
+    )
+    return uniform_machine(topology, capacity, comm)
+
+
+class TestCompilationProperties:
+    @given(circuit=circuits(), machine=machines(), baseline=st.booleans())
+    @_SLOW
+    def test_compiled_schedule_simulates_cleanly(
+        self, circuit, machine, baseline
+    ):
+        """Whatever the compiler emits must replay on the machine: the
+        simulator validates co-location, capacities, and transit states
+        op by op."""
+        if circuit.num_qubits > machine.load_capacity:
+            return
+        config = (
+            CompilerConfig.baseline()
+            if baseline
+            else CompilerConfig.optimized()
+        )
+        result = compile_circuit(circuit, machine, config)
+        report = Simulator(machine).run(result.schedule, result.initial_chains)
+        assert report.num_gates == len(circuit)
+        assert report.num_shuttles == result.num_shuttles
+        assert report.program_log_fidelity <= 0.0
+        assert math.isfinite(report.program_log_fidelity)
+
+    @given(circuit=circuits(), machine=machines())
+    @_SLOW
+    def test_execution_order_respects_dependencies(self, circuit, machine):
+        if circuit.num_qubits > machine.load_capacity:
+            return
+        result = compile_circuit(circuit, machine)
+        assert DependencyDAG(circuit).is_valid_order(result.gate_order)
+
+    @given(circuit=circuits(), machine=machines())
+    @_SLOW
+    def test_ion_conservation(self, circuit, machine):
+        if circuit.num_qubits > machine.load_capacity:
+            return
+        result = compile_circuit(circuit, machine)
+        initial = sorted(
+            q for chain in result.initial_chains.values() for q in chain
+        )
+        final = sorted(
+            q for chain in result.final_chains.values() for q in chain
+        )
+        assert initial == final == list(range(circuit.num_qubits))
+
+    @given(circuit=circuits(max_gates=25), machine=machines())
+    @_SLOW
+    def test_splits_moves_merges_balanced(self, circuit, machine):
+        if circuit.num_qubits > machine.load_capacity:
+            return
+        result = compile_circuit(circuit, machine)
+        schedule = result.schedule
+        assert schedule.num_splits == schedule.num_merges
+        assert schedule.num_shuttles >= schedule.num_splits
+
+
+class TestDagProperties:
+    @given(circuit=circuits(max_gates=30))
+    @_SLOW
+    def test_topological_order_always_valid(self, circuit):
+        dag = DependencyDAG(circuit)
+        assert dag.is_valid_order(dag.topological_order())
+
+    @given(circuit=circuits(max_gates=30))
+    @_SLOW
+    def test_layers_are_antichains(self, circuit):
+        """No two gates in one layer may share a qubit."""
+        dag = DependencyDAG(circuit)
+        for layer in dag.layers():
+            seen = set()
+            for index in layer:
+                qubits = set(dag.gate(index).qubits)
+                assert not qubits & seen
+                seen |= qubits
+
+    @given(circuit=circuits(max_gates=30))
+    @_SLOW
+    def test_layer_equals_longest_predecessor_chain(self, circuit):
+        dag = DependencyDAG(circuit)
+        for index in range(len(dag)):
+            preds = dag.predecessors(index)
+            if preds:
+                assert dag.layer_of(index) == 1 + max(
+                    dag.layer_of(p) for p in preds
+                )
+            else:
+                assert dag.layer_of(index) == 0
+
+
+class TestQasmProperties:
+    @given(circuit=circuits(max_gates=20))
+    @_SLOW
+    def test_round_trip_preserves_structure(self, circuit):
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        assert reparsed.num_qubits == circuit.num_qubits
+        # ms round-trips through the rxx macro: 2 cx per ms.
+        assert reparsed.num_two_qubit_gates == 2 * circuit.num_two_qubit_gates
+
+    @given(
+        angles=st.lists(
+            st.floats(
+                min_value=-10, max_value=10, allow_nan=False
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @_SLOW
+    def test_rotation_angles_round_trip(self, angles):
+        circuit = Circuit(1)
+        for angle in angles:
+            circuit.add("rz", 0, params=[angle])
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        for original, parsed in zip(circuit, reparsed):
+            assert math.isclose(
+                original.params[0], parsed.params[0], abs_tol=1e-9
+            )

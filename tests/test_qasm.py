@@ -1,0 +1,223 @@
+"""Unit tests for the OpenQASM 2.0 front end."""
+
+import math
+
+import pytest
+
+from repro.circuits.gate import Gate
+from repro.circuits.qasm import QasmError, parse_qasm
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestBasicParsing:
+    def test_minimal_program(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\ncx q[0], q[1];")
+        assert circuit.num_qubits == 3
+        assert circuit.gates == (Gate("cx", (0, 1)),)
+
+    def test_without_header(self):
+        circuit = parse_qasm("qreg q[2]; h q[0];")
+        assert len(circuit) == 1
+
+    def test_single_qubit_gates(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nh q[0];\nx q[0];\nt q[0];")
+        assert [g.name for g in circuit] == ["h", "x", "t"]
+
+    def test_parameterized_gate(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(1.5) q[0];")
+        assert circuit[0].params == (1.5,)
+
+    def test_pi_expression(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(pi/2) q[0];")
+        assert circuit[0].params == (math.pi / 2,)
+
+    def test_arithmetic_expression(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(3*pi/4 - 1) q[0];")
+        assert circuit[0].params == pytest.approx((3 * math.pi / 4 - 1,))
+
+    def test_unary_minus_and_power(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(-2^3) q[0];")
+        assert circuit[0].params == (-8.0,)
+
+    def test_function_call(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(cos(0)) q[0];")
+        assert circuit[0].params == (1.0,)
+
+    def test_scientific_notation(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(1e-3) q[0];")
+        assert circuit[0].params == (1e-3,)
+
+    def test_multi_param_gate(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nu3(0.1, 0.2, 0.3) q[0];")
+        assert circuit[0].params == pytest.approx((0.1, 0.2, 0.3))
+
+    def test_comments_ignored(self):
+        source = HEADER + "// line comment\nqreg q[2];\n/* block\ncomment */cx q[0], q[1];"
+        assert len(parse_qasm(source)) == 1
+
+    def test_measure_and_barrier_skipped(self):
+        source = (
+            HEADER
+            + "qreg q[2];\ncreg c[2];\nbarrier q;\ncx q[0], q[1];\n"
+            + "measure q[0] -> c[0];\nreset q[1];"
+        )
+        circuit = parse_qasm(source)
+        assert [g.name for g in circuit] == ["cx"]
+
+
+class TestRegisters:
+    def test_multiple_qregs_concatenated(self):
+        source = HEADER + "qreg a[2];\nqreg b[3];\ncx a[1], b[0];"
+        circuit = parse_qasm(source)
+        assert circuit.num_qubits == 5
+        assert circuit[0].qubits == (1, 2)
+
+    def test_whole_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nh q;")
+        assert len(circuit) == 3
+        assert {g.qubits[0] for g in circuit} == {0, 1, 2}
+
+    def test_two_register_broadcast(self):
+        source = HEADER + "qreg a[2];\nqreg b[2];\ncx a, b;"
+        circuit = parse_qasm(source)
+        assert circuit.gates == (Gate("cx", (0, 2)), Gate("cx", (1, 3)))
+
+    def test_mixed_broadcast(self):
+        source = HEADER + "qreg a[1];\nqreg b[2];\ncx a[0], b;"
+        circuit = parse_qasm(source)
+        assert circuit.gates == (Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+
+    def test_mismatched_broadcast_rejected(self):
+        source = HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;"
+        with pytest.raises(QasmError):
+            parse_qasm(source)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[2];\nh q[5];")
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[2];\nqreg q[3];")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[2];\nh r[0];")
+
+
+class TestGateDefinitions:
+    def test_simple_macro(self):
+        source = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate mygate a, b { cx a, b; h a; }\n"
+            + "mygate q[0], q[1];"
+        )
+        circuit = parse_qasm(source)
+        assert [g.name for g in circuit] == ["cx", "h"]
+        assert circuit[0].qubits == (0, 1)
+
+    def test_parameterized_macro(self):
+        source = (
+            HEADER
+            + "qreg q[1];\n"
+            + "gate twist(theta) a { rz(theta/2) a; }\n"
+            + "twist(pi) q[0];"
+        )
+        circuit = parse_qasm(source)
+        assert circuit[0].params == pytest.approx((math.pi / 2,))
+
+    def test_nested_macro(self):
+        source = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate inner a, b { cx a, b; }\n"
+            + "gate outer a, b { inner a, b; inner b, a; }\n"
+            + "outer q[0], q[1];"
+        )
+        circuit = parse_qasm(source)
+        assert circuit.gates == (Gate("cx", (0, 1)), Gate("cx", (1, 0)))
+
+    def test_macro_wrong_arity_rejected(self):
+        source = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate mygate a, b { cx a, b; }\n"
+            + "mygate q[0];"
+        )
+        with pytest.raises(QasmError):
+            parse_qasm(source)
+
+    def test_macro_with_barrier_in_body(self):
+        source = (
+            HEADER
+            + "qreg q[2];\n"
+            + "gate mygate a, b { barrier a, b; cx a, b; }\n"
+            + "mygate q[0], q[1];"
+        )
+        assert [g.name for g in parse_qasm(source)] == ["cx"]
+
+
+class TestErrors:
+    def test_no_qubits(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER)
+
+    def test_unsupported_version(self):
+        with pytest.raises(QasmError):
+            parse_qasm('OPENQASM 3.0;\nqreg q[1];\nh q[0];')
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nfrobnicate q[0];")
+
+    def test_unknown_include(self):
+        with pytest.raises(QasmError):
+            parse_qasm('include "other.inc";\nqreg q[1];\nh q[0];')
+
+    def test_opaque_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nopaque magic a;")
+
+    def test_if_rejected(self):
+        source = HEADER + "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];"
+        with pytest.raises(QasmError):
+            parse_qasm(source)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_qasm(HEADER + "qreg q[1];\nfrobnicate q[0];")
+        except QasmError as exc:
+            assert "line 4" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected QasmError")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QasmError):
+            parse_qasm('include "qelib1.inc;\nqreg q[1];')
+
+    def test_division_by_zero_in_expression(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(1/0) q[0];")
+
+    def test_zero_size_register(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[0];\n")
+
+
+class TestRealWorldShapes:
+    def test_qft_style_program(self):
+        lines = [HEADER, "qreg q[4];"]
+        for i in range(4):
+            lines.append(f"h q[{i}];")
+            for j in range(i + 1, 4):
+                lines.append(f"cu1(pi/{2 ** (j - i)}) q[{i}], q[{j}];")
+        circuit = parse_qasm("\n".join(lines))
+        assert circuit.num_two_qubit_gates == 6
+        assert circuit.num_one_qubit_gates == 4
+
+    def test_ghz_program(self):
+        source = HEADER + "qreg q[4];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\ncx q[2], q[3];"
+        circuit = parse_qasm(source)
+        assert circuit.depth() == 4

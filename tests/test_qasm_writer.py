@@ -1,0 +1,76 @@
+"""QASM emission and round-trip tests."""
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.circuits.qasm import parse_qasm
+from repro.circuits.qasm_writer import circuit_to_qasm, dump_qasm, gate_to_qasm
+
+
+class TestGateRendering:
+    def test_plain_gate(self):
+        assert gate_to_qasm(Gate("cx", (0, 1))) == "cx q[0], q[1];"
+
+    def test_parameterized_gate(self):
+        assert gate_to_qasm(Gate("rz", (0,), (math.pi / 2,))) == "rz(pi/2) q[0];"
+
+    def test_ms_rendered_as_rxx(self):
+        assert gate_to_qasm(Gate("ms", (0, 1))) == "rxx(pi/2) q[0], q[1];"
+
+    def test_negative_angle(self):
+        assert gate_to_qasm(Gate("rz", (0,), (-math.pi,))) == "rz(-pi) q[0];"
+
+    def test_irrational_angle_repr(self):
+        text = gate_to_qasm(Gate("rz", (0,), (0.12345,)))
+        assert "0.12345" in text
+
+    def test_custom_register_name(self):
+        assert gate_to_qasm(Gate("h", (2,)), register="r") == "h r[2];"
+
+
+class TestProgramRendering:
+    def test_header_and_register(self):
+        circuit = Circuit(3).add("h", 0)
+        text = circuit_to_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[3];" in text
+
+    def test_rxx_preamble_only_when_needed(self):
+        with_ms = circuit_to_qasm(Circuit(2).add("ms", 0, 1))
+        without_ms = circuit_to_qasm(Circuit(2).add("cx", 0, 1))
+        assert "gate rxx" in with_ms
+        assert "gate rxx" not in without_ms
+
+    def test_round_trip_standard_gates(self):
+        circuit = Circuit(3)
+        circuit.add("h", 0).add("cx", 0, 1).add("rz", 2, params=[0.25])
+        circuit.add("cp", 1, 2, params=[math.pi / 4]).add("swap", 0, 2)
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        assert reparsed.num_qubits == 3
+        assert [g.name for g in reparsed] == [g.name for g in circuit]
+        for a, b in zip(reparsed, circuit):
+            assert a.qubits == b.qubits
+            assert a.params == b.params
+
+    def test_round_trip_ms_via_macro(self):
+        circuit = Circuit(2).add("ms", 0, 1)
+        reparsed = parse_qasm(circuit_to_qasm(circuit))
+        # The macro expands to the cx-based rxx definition.
+        assert reparsed.num_two_qubit_gates == 2  # two cx in the macro
+        assert reparsed.num_qubits == 2
+
+    def test_dump_qasm(self, tmp_path):
+        path = tmp_path / "circ.qasm"
+        dump_qasm(Circuit(2).add("cx", 0, 1), str(path))
+        assert "cx q[0], q[1];" in path.read_text()
+
+    def test_load_qasm(self, tmp_path):
+        from repro.circuits.qasm import load_qasm
+
+        path = tmp_path / "prog.qasm"
+        path.write_text('OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncx q[0], q[1];\n')
+        circuit = load_qasm(str(path))
+        assert circuit.name == "prog"
+        assert len(circuit) == 1

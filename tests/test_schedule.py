@@ -1,0 +1,66 @@
+"""Schedule container tests."""
+
+from repro.circuits.gate import Gate
+from repro.sim.ops import GateOp, MergeOp, MoveOp, ShuttleReason, SplitOp
+from repro.sim.schedule import Schedule
+
+
+def mixed_schedule() -> Schedule:
+    schedule = Schedule()
+    schedule.append(GateOp(gate=Gate("ms", (0, 1)), trap=0))
+    schedule.append(SplitOp(ion=2, trap=1))
+    schedule.append(MoveOp(ion=2, src=1, dst=0))
+    schedule.append(
+        MoveOp(ion=2, src=0, dst=1, reason=ShuttleReason.REBALANCE)
+    )
+    schedule.append(MergeOp(ion=2, trap=1))
+    schedule.append(GateOp(gate=Gate("h", (0,)), trap=0))
+    return schedule
+
+
+class TestCounts:
+    def test_len_and_iter(self):
+        schedule = mixed_schedule()
+        assert len(schedule) == 6
+        assert len(list(schedule)) == 6
+        assert schedule[0].kind == "gate"
+
+    def test_num_shuttles_counts_moves(self):
+        assert mixed_schedule().num_shuttles == 2
+
+    def test_gate_counts(self):
+        schedule = mixed_schedule()
+        assert schedule.num_gates == 2
+        assert schedule.num_two_qubit_gates == 1
+
+    def test_split_merge_counts(self):
+        schedule = mixed_schedule()
+        assert schedule.num_splits == 1
+        assert schedule.num_merges == 1
+
+    def test_shuttles_by_reason(self):
+        by_reason = mixed_schedule().shuttles_by_reason()
+        assert by_reason[ShuttleReason.GATE] == 1
+        assert by_reason[ShuttleReason.REBALANCE] == 1
+
+    def test_shuttle_to_gate_ratio(self):
+        assert mixed_schedule().shuttle_to_gate_ratio == 2.0
+        assert Schedule().shuttle_to_gate_ratio == 0.0
+
+    def test_count_kinds(self):
+        kinds = mixed_schedule().count_kinds()
+        assert kinds == {"gate": 2, "split": 1, "move": 2, "merge": 1}
+
+    def test_gate_ops(self):
+        gate_ops = mixed_schedule().gate_ops()
+        assert len(gate_ops) == 2
+        assert all(isinstance(op, GateOp) for op in gate_ops)
+
+    def test_extend(self):
+        schedule = Schedule()
+        schedule.extend(mixed_schedule().ops)
+        assert len(schedule) == 6
+
+    def test_repr(self):
+        text = repr(mixed_schedule())
+        assert "shuttles=2" in text

@@ -1,0 +1,308 @@
+"""Simulator tests: validation, heating model, timing, fidelity."""
+
+import math
+
+import pytest
+
+from repro.arch import linear_topology, uniform_machine
+from repro.circuits.gate import Gate
+from repro.sim import (
+    GateOp,
+    MachineParams,
+    MergeOp,
+    MoveOp,
+    NoiseParams,
+    Schedule,
+    SimulationError,
+    Simulator,
+    SplitOp,
+    TimingParams,
+)
+
+
+def machine(traps=3, capacity=4, comm=1):
+    return uniform_machine(linear_topology(traps), capacity, comm)
+
+
+def quiet_params(**noise_overrides) -> MachineParams:
+    """Noise params with recooling off and simple constants for math."""
+    defaults = dict(
+        heating_rate=0.0,
+        gate_infidelity_scale=0.0,
+        move_heating=1.0,
+        split_heating=0.0,
+        merge_heating=0.0,
+        background_heating_rate=0.0,
+        one_qubit_infidelity=0.0,
+        recool_enabled=False,
+    )
+    defaults.update(noise_overrides)
+    return MachineParams(TimingParams(), NoiseParams(**defaults))
+
+
+def shuttle_ops(ion, src, dst, path=None):
+    """A complete split/move/merge op chain along a path."""
+    ops = [SplitOp(ion=ion, trap=src)]
+    hops = path or [src, dst]
+    for a, b in zip(hops, hops[1:]):
+        ops.append(MoveOp(ion=ion, src=a, dst=b))
+    ops.append(MergeOp(ion=ion, trap=hops[-1]))
+    return ops
+
+
+class TestValidation:
+    def run(self, ops, chains, m=None):
+        return Simulator(m or machine(), quiet_params()).run(
+            Schedule(ops), chains
+        )
+
+    def test_gate_requires_co_location(self):
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0], 1: [1]})
+
+    def test_gate_in_wrong_trap(self):
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=1)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0, 1]})
+
+    def test_split_of_absent_ion(self):
+        with pytest.raises(SimulationError):
+            self.run([SplitOp(ion=5, trap=0)], {0: [0]})
+
+    def test_double_split(self):
+        ops = [SplitOp(ion=0, trap=0), SplitOp(ion=0, trap=0)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0, 1]})
+
+    def test_move_without_split(self):
+        with pytest.raises(SimulationError):
+            self.run([MoveOp(ion=0, src=0, dst=1)], {0: [0]})
+
+    def test_move_from_wrong_trap(self):
+        ops = [SplitOp(ion=0, trap=0), MoveOp(ion=0, src=1, dst=2)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0]})
+
+    def test_move_over_missing_edge(self):
+        ops = [SplitOp(ion=0, trap=0), MoveOp(ion=0, src=0, dst=2)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0]})
+
+    def test_move_into_full_trap(self):
+        ops = [SplitOp(ion=0, trap=0), MoveOp(ion=0, src=0, dst=1)]
+        chains = {0: [0], 1: [1, 2, 3, 4]}  # capacity 4: full
+        with pytest.raises(SimulationError):
+            self.run(ops, chains)
+
+    def test_merge_without_move_to_trap(self):
+        ops = [SplitOp(ion=0, trap=0), MergeOp(ion=0, trap=1)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0]})
+
+    def test_stranded_ion_detected(self):
+        ops = [SplitOp(ion=0, trap=0), MoveOp(ion=0, src=0, dst=1)]
+        with pytest.raises(SimulationError):
+            self.run(ops, {0: [0]})
+
+    def test_initial_chain_overflow(self):
+        with pytest.raises(SimulationError):
+            self.run([], {0: [0, 1, 2, 3, 4]})
+
+    def test_initial_duplicate_ion(self):
+        with pytest.raises(SimulationError):
+            self.run([], {0: [0], 1: [0]})
+
+    def test_error_mentions_op_position(self):
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0)]
+        try:
+            self.run(ops, {0: [0], 1: [1]})
+        except SimulationError as exc:
+            assert "op 0" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected SimulationError")
+
+    def test_valid_shuttle_executes(self):
+        report = self.run(shuttle_ops(0, 0, 1), {0: [0], 1: [1]})
+        assert report.num_shuttles == 1
+        assert report.num_splits == 1
+        assert report.num_merges == 1
+
+
+class TestHeatingModel:
+    def test_merge_deposits_transit_energy(self):
+        params = quiet_params(move_heating=2.0, merge_heating=3.0)
+        ops = shuttle_ops(0, 0, 2, path=[0, 1, 2]) + [
+            GateOp(gate=Gate("ms", (0, 5)), trap=2)
+        ]
+        sim = Simulator(machine(), params)
+        report = sim.run(Schedule(ops), {0: [0], 2: [5]})
+        # 2 hops x 2.0 + merge 3.0 = 7.0 quanta on the destination chain.
+        assert report.mean_gate_nbar == pytest.approx(7.0)
+
+    def test_split_heats_source_chain(self):
+        params = quiet_params(split_heating=1.5, move_heating=0.0)
+        ops = shuttle_ops(0, 0, 1) + [
+            GateOp(gate=Gate("ms", (1, 2)), trap=0)
+        ]
+        report = Simulator(machine(), params).run(
+            Schedule(ops), {0: [0, 1, 2]}
+        )
+        assert report.mean_gate_nbar == pytest.approx(1.5)
+
+    def test_carried_fraction(self):
+        params = quiet_params(
+            move_heating=2.0, carried_energy_fraction=0.5, merge_heating=0.0
+        )
+        ops = shuttle_ops(0, 0, 1) + [GateOp(gate=Gate("ms", (0, 5)), trap=1)]
+        report = Simulator(machine(), params).run(
+            Schedule(ops), {0: [0], 1: [5]}
+        )
+        assert report.mean_gate_nbar == pytest.approx(1.0)
+
+    def test_background_heating_during_gates(self):
+        params = quiet_params(
+            move_heating=0.0, background_heating_rate=1000.0
+        )
+        tau = params.timing.gate2q_time
+        ops = [
+            GateOp(gate=Gate("ms", (0, 1)), trap=0),
+            GateOp(gate=Gate("ms", (0, 1)), trap=0),
+        ]
+        report = Simulator(machine(), params).run(Schedule(ops), {0: [0, 1]})
+        # Second gate sees the heat of the first: 1000 * tau.
+        assert report.max_nbar == pytest.approx(2 * 1000.0 * tau)
+        assert report.gate_fidelities[0] == 1.0
+
+    def test_recooling_caps_nbar(self):
+        hot = quiet_params(
+            move_heating=0.0,
+            background_heating_rate=1000.0,
+            recool_enabled=True,
+            recool_decay=0.5,
+            recool_floor=0.0,
+        )
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0) for _ in range(50)]
+        report = Simulator(machine(), hot).run(Schedule(ops), {0: [0, 1]})
+        tau = hot.timing.gate2q_time
+        # Geometric series: n̄ converges to heat_per_gate * d/(1-d) pre-gate.
+        assert report.mean_gate_nbar < 2 * 1000.0 * tau
+
+
+class TestFidelityModel:
+    def test_formula_matches_paper(self):
+        noise = NoiseParams(
+            heating_rate=30.0, gate_infidelity_scale=2e-5
+        )
+        tau = 100e-6
+        nbar = 4.0
+        chain = 10
+        a = 2e-5 * 10 / math.log2(10)
+        expected = 1.0 - 30.0 * tau - a * (2 * 4.0 + 1.0)
+        assert noise.gate_fidelity(tau, nbar, chain) == pytest.approx(expected)
+
+    def test_fidelity_clamped(self):
+        noise = NoiseParams(gate_infidelity_scale=1.0)
+        assert noise.gate_fidelity(100e-6, 1e9, 10) == 0.0
+
+    def test_chain_scale_guard_small_chains(self):
+        noise = NoiseParams(gate_infidelity_scale=1e-4)
+        assert noise.chain_scale(1) == noise.chain_scale(2)
+        assert noise.chain_scale(8) > noise.chain_scale(2)
+
+    def test_program_log_fidelity_accumulates(self):
+        params = quiet_params(
+            move_heating=0.0, one_qubit_infidelity=0.0,
+            gate_infidelity_scale=1e-3,
+        )
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0) for _ in range(3)]
+        report = Simulator(machine(), params).run(Schedule(ops), {0: [0, 1]})
+        per_gate = params.noise.gate_fidelity(
+            params.timing.gate2q_time, 0.0, 2
+        )
+        assert report.program_log_fidelity == pytest.approx(
+            3 * math.log(per_gate)
+        )
+        assert report.program_fidelity == pytest.approx(per_gate**3)
+
+    def test_one_qubit_gates_use_fixed_infidelity(self):
+        params = quiet_params(one_qubit_infidelity=0.01)
+        ops = [GateOp(gate=Gate("h", (0,)), trap=0)]
+        report = Simulator(machine(), params).run(Schedule(ops), {0: [0]})
+        assert report.program_fidelity == pytest.approx(0.99)
+
+    def test_improvement_over(self):
+        params = quiet_params(gate_infidelity_scale=1e-3)
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0)]
+        one = Simulator(machine(), params).run(Schedule(ops), {0: [0, 1]})
+        two = Simulator(machine(), params).run(
+            Schedule(ops * 2), {0: [0, 1]}
+        )
+        assert one.improvement_over(two) > 1.0
+        assert two.improvement_over(one) < 1.0
+
+    def test_log10(self):
+        params = quiet_params(gate_infidelity_scale=1e-3)
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0)]
+        report = Simulator(machine(), params).run(Schedule(ops), {0: [0, 1]})
+        assert report.log10_fidelity == pytest.approx(
+            report.program_log_fidelity / math.log(10)
+        )
+
+
+class TestTiming:
+    def test_serial_within_trap(self):
+        params = quiet_params()
+        tau = params.timing.gate2q_time
+        ops = [GateOp(gate=Gate("ms", (0, 1)), trap=0)] * 3
+        report = Simulator(machine(), params).run(Schedule(ops), {0: [0, 1]})
+        assert report.duration == pytest.approx(3 * tau)
+
+    def test_parallel_across_traps(self):
+        params = quiet_params()
+        tau = params.timing.gate2q_time
+        ops = [
+            GateOp(gate=Gate("ms", (0, 1)), trap=0),
+            GateOp(gate=Gate("ms", (2, 3)), trap=1),
+        ]
+        report = Simulator(machine(), params).run(
+            Schedule(ops), {0: [0, 1], 1: [2, 3]}
+        )
+        assert report.duration == pytest.approx(tau)
+
+    def test_shuttle_time_accounted(self):
+        params = quiet_params()
+        t = params.timing
+        report = Simulator(machine(), params).run(
+            Schedule(shuttle_ops(0, 0, 1)), {0: [0]}
+        )
+        assert report.duration == pytest.approx(
+            t.split_time + t.move_time + t.merge_time
+        )
+
+    def test_move_synchronizes_endpoint_traps(self):
+        params = quiet_params()
+        t = params.timing
+        ops = [GateOp(gate=Gate("ms", (1, 2)), trap=1)] + shuttle_ops(0, 0, 1)
+        report = Simulator(machine(), params).run(
+            Schedule(ops), {0: [0], 1: [1, 2]}
+        )
+        # The move cannot start before trap 1 finishes its gate.
+        expected = max(t.split_time, t.gate2q_time) + t.move_time + t.merge_time
+        assert report.duration == pytest.approx(expected)
+
+    def test_gate_time_lookup(self):
+        timing = TimingParams()
+        assert timing.gate_time(1) == timing.gate1q_time
+        assert timing.gate_time(2) == timing.gate2q_time
+
+
+class TestParamHelpers:
+    def test_with_noise_override(self):
+        params = MachineParams().with_noise(move_heating=9.0)
+        assert params.noise.move_heating == 9.0
+        assert params.timing == MachineParams().timing
+
+    def test_with_timing_override(self):
+        params = MachineParams().with_timing(move_time=1e-3)
+        assert params.timing.move_time == 1e-3
