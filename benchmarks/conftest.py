@@ -42,10 +42,21 @@ def nisq_circuits():
 
 @pytest.fixture(scope="session")
 def suite_comparisons(machine):
-    """One shared compile+simulate pass over the whole suite."""
+    """One shared compile+simulate pass over the whole suite.
+
+    Dispatches through the batch engine: set ``REPRO_JOBS=N`` to
+    parallelize and ``REPRO_CACHE_DIR=path`` to replay cached results
+    across benchmark sessions.
+    """
     from repro.eval.harness import run_suite
 
-    return run_suite(machine=machine, simulate=True, full=None)
+    return run_suite(
+        machine=machine,
+        simulate=True,
+        full=None,
+        n_jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
 
 
 def write_result(results_dir: str, name: str, text: str) -> None:

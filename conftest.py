@@ -11,3 +11,15 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    """Register the ``slow`` marker for the longest end-to-end tests.
+
+    A fast development loop runs ``pytest -m "not slow"``; plain
+    ``pytest`` (tier-1) and ``pytest -m slow`` still run everything.
+    """
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end test (deselect with -m 'not slow')",
+    )

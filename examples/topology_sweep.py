@@ -1,8 +1,10 @@
 """Extension study: how the trap interconnect shapes shuttle counts.
 
 The paper evaluates the L6 line; QCCDSim also models rings and grids.
-This example compiles the same workloads onto L6, a 6-ring, and a 2x3
-grid and tabulates baseline-vs-optimized shuttle counts per topology.
+This example is a thin declaration over the batch engine
+(:mod:`repro.batch`): the circuits x machines x configs grid is
+expanded by ``sweep()`` and executed by a ``BatchRunner`` — add
+``n_jobs=4`` or ``cache=ResultCache(...)`` to parallelize or replay.
 
 Run:  python examples/topology_sweep.py
 """
@@ -15,8 +17,10 @@ sys.path.insert(
 )
 
 from repro.arch import grid_machine, linear_machine, ring_machine
+from repro.batch import BatchRunner, sweep
 from repro.bench import qft_circuit, random_circuit, supremacy_circuit
-from repro.eval import compare, render_table
+from repro.compiler.config import CompilerConfig
+from repro.eval import reduction_percent, render_table
 
 
 def main() -> None:
@@ -26,20 +30,33 @@ def main() -> None:
         qft_circuit(),
         random_circuit(64, 1200, seed=23),
     ]
+    configs = [CompilerConfig.baseline(), CompilerConfig.optimized()]
 
+    jobs = sweep(circuits, machines, configs)
+    results = BatchRunner(n_jobs=1).run_or_raise(jobs)
+
+    # sweep() nests circuit > machine > config, so each consecutive
+    # result pair is (baseline, optimized) for one circuit/machine cell;
+    # the paper's tables group by machine first, hence the sort.
+    cells = sorted(
+        zip(jobs[::2], results[::2], results[1::2]),
+        key=lambda item: machines.index(item[0].machine),
+    )
     rows = []
-    for machine in machines:
-        for circuit in circuits:
-            comparison = compare(circuit, machine, simulate=False)
-            rows.append(
-                [
-                    machine.topology.name,
-                    circuit.name,
-                    comparison.baseline.num_shuttles,
-                    comparison.optimized.num_shuttles,
-                    f"{comparison.shuttle_reduction_percent:.1f}%",
-                ]
-            )
+    for job, baseline, optimized in cells:
+        assert baseline.result is not None and optimized.result is not None
+        reduction = reduction_percent(
+            baseline.result.num_shuttles, optimized.result.num_shuttles
+        )
+        rows.append(
+            [
+                job.machine.topology.name,
+                job.circuit.name,
+                baseline.result.num_shuttles,
+                optimized.result.num_shuttles,
+                f"{reduction:.1f}%",
+            ]
+        )
 
     print(
         render_table(

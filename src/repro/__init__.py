@@ -30,6 +30,15 @@ from .arch import (
     ring_topology,
     uniform_machine,
 )
+from .batch import (
+    BatchRunner,
+    CompileJob,
+    JobResult,
+    NullCache,
+    ResultCache,
+    SweepRecord,
+    sweep,
+)
 from .circuits import (
     Circuit,
     DependencyDAG,
@@ -61,12 +70,18 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRunner",
     "Circuit",
     "CompilationError",
     "CompilationResult",
+    "CompileJob",
     "CompilerConfig",
     "DependencyDAG",
     "Gate",
+    "JobResult",
+    "NullCache",
+    "ResultCache",
+    "SweepRecord",
     "MachineParams",
     "NoiseParams",
     "QCCDCompiler",
@@ -93,5 +108,6 @@ __all__ = [
     "parse_qasm",
     "ring_machine",
     "ring_topology",
+    "sweep",
     "uniform_machine",
 ]

@@ -1,0 +1,61 @@
+"""Parallel batch-compilation engine with content-addressed caching.
+
+The subsystem behind every sweep-shaped experiment in this repo
+(Table II / III, Fig. 8, ablations, topology studies):
+
+* :mod:`~repro.batch.jobs` — declarative :class:`CompileJob` specs and
+  the :func:`sweep` cartesian-grid builder,
+* :mod:`~repro.batch.fingerprint` — stable content hashing of circuits,
+  machines, configs and parameters,
+* :mod:`~repro.batch.cache` — on-disk content-addressed result store,
+* :mod:`~repro.batch.runner` — :class:`BatchRunner`, a multiprocessing
+  executor with error isolation and deterministic result ordering,
+* :mod:`~repro.batch.records` — flat per-job records with JSON/CSV
+  export.
+
+Quickstart::
+
+    from repro.batch import BatchRunner, ResultCache, sweep
+
+    jobs = sweep(circuits, machines, configs)
+    runner = BatchRunner(n_jobs=4, cache=ResultCache(".repro-cache"))
+    results = runner.run(jobs)   # index-aligned with jobs
+"""
+
+from .cache import CacheStats, NullCache, ResultCache
+from .fingerprint import FINGERPRINT_VERSION, FingerprintError, canonicalize, fingerprint
+from .jobs import CompileJob, paired_jobs, sweep
+from .records import (
+    FIELDNAMES,
+    SweepRecord,
+    build_record,
+    build_records,
+    records_to_json,
+    write_csv,
+    write_json,
+)
+from .runner import BatchError, BatchRunner, JobResult, execute_job
+
+__all__ = [
+    "BatchError",
+    "BatchRunner",
+    "CacheStats",
+    "CompileJob",
+    "FIELDNAMES",
+    "FINGERPRINT_VERSION",
+    "FingerprintError",
+    "JobResult",
+    "NullCache",
+    "ResultCache",
+    "SweepRecord",
+    "build_record",
+    "build_records",
+    "canonicalize",
+    "execute_job",
+    "fingerprint",
+    "paired_jobs",
+    "records_to_json",
+    "sweep",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,138 @@
+"""On-disk content-addressed result store.
+
+Entries are keyed by job fingerprint (:mod:`repro.batch.fingerprint`)
+and laid out git-style — ``<root>/<fp[:2]>/<fp[2:]>.pkl`` — so a warm
+directory stays listable.  Values are pickled
+:class:`~repro.batch.runner.JobResult` payloads (schedule included, so
+a hit is a full replay, not just summary numbers).
+
+Writes are atomic (temp file + ``os.replace``) so a killed sweep never
+leaves a truncated entry; unreadable/corrupt entries degrade to misses.
+:class:`NullCache` is the ``--no-cache`` escape hatch: same interface,
+never stores anything.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one runner pass (or cache lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate * 100.0:.0f}% hit rate, {self.puts} stored)"
+        )
+
+
+class NullCache:
+    """A cache that never stores: every lookup is a miss."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Any | None:
+        """Always a miss."""
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Discard ``value``."""
+
+
+class ResultCache:
+    """Content-addressed pickle store rooted at ``root``."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.root / key[:2] / f"{key[2:]}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Return the stored value, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            # Unreadable, truncated, or stale (e.g. pickled against a
+            # renamed class/module) entries are misses, never crashes.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the directory)."""
+        if not self.root.exists():
+            return 0
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for entry in shard.glob("*.pkl")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.glob("*.pkl"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,94 @@
+"""Stable, process-independent content fingerprints.
+
+The batch cache (:mod:`repro.batch.cache`) keys results by the *content*
+of a compilation job, so identical (circuit, machine, config, params)
+tuples hit the same cache entry across interpreter runs, hosts and
+worker processes.  Python's built-in ``hash()`` is salted per process
+(``PYTHONHASHSEED``) and therefore useless for on-disk keys; instead
+every object is lowered to a canonical, JSON-serializable form and the
+SHA-256 of its compact JSON encoding is used.
+
+Canonicalization rules:
+
+* floats are rendered with ``float.hex()`` (exact, locale/precision
+  independent),
+* dataclasses become ``["dc", class-name, {field: value}]`` with fields
+  in declaration order,
+* :class:`~repro.circuits.circuit.Circuit` and
+  :class:`~repro.arch.topology.TrapTopology` (not dataclasses) get
+  explicit encodings,
+* enums become ``["enum", class-name, value]``.
+
+Wall-clock outputs (e.g. ``CompilationResult.compile_time``) never
+enter a fingerprint: fingerprints cover compilation *inputs* only, so
+cached replays are byte-identical modulo timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+from ..arch.topology import TrapTopology
+from ..circuits.circuit import Circuit
+
+#: Bump to invalidate every existing cache entry when the canonical
+#: encoding (or compilation semantics) changes incompatibly.
+FINGERPRINT_VERSION = 1
+
+
+class FingerprintError(TypeError):
+    """Raised when an object has no canonical encoding."""
+
+
+def canonicalize(obj: Any) -> Any:
+    """Lower ``obj`` to a deterministic JSON-serializable structure."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj).hex()
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__name__, canonicalize(obj.value)]
+    if isinstance(obj, Circuit):
+        return [
+            "circuit",
+            obj.name,
+            obj.num_qubits,
+            [canonicalize(g) for g in obj.gates],
+        ]
+    if isinstance(obj, TrapTopology):
+        return [
+            "topology",
+            obj.name,
+            obj.num_traps,
+            [list(edge) for edge in obj.edges],
+        ]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            {
+                f.name: canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(item) for item in obj)
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in obj.items()}
+    raise FingerprintError(
+        f"no canonical encoding for {type(obj).__name__}: {obj!r}"
+    )
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,120 @@
+"""Flat per-job result records with JSON/CSV export.
+
+Downstream analysis (pandas, spreadsheets, plotting scripts) wants one
+row per compilation with scalar columns — not nested schedules.  A
+:class:`SweepRecord` is that row; :func:`build_records` flattens a
+runner pass and :func:`write_csv` / :func:`write_json` persist it.
+
+``compile_time`` is wall-clock and therefore nondeterministic: it is
+reported for Table III-style analyses but is excluded from fingerprints
+and from :class:`~repro.compiler.result.CompilationResult` equality, so
+cached replays compare identical to fresh compilations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Sequence
+from dataclasses import asdict, dataclass, fields
+
+from .jobs import CompileJob
+from .runner import JobResult
+
+
+@dataclass
+class SweepRecord:
+    """One flat row per job: identity, inputs, and scalar outcomes."""
+
+    job_index: int
+    fingerprint: str
+    circuit: str
+    machine: str
+    config: str
+    num_qubits: int
+    num_two_qubit_gates: int
+    simulate: bool
+    cache_hit: bool
+    error: str | None = None
+    num_shuttles: int | None = None
+    gate_shuttles: int | None = None
+    rebalance_shuttles: int | None = None
+    num_reorders: int | None = None
+    num_rebalances: int | None = None
+    compile_time: float | None = None  # wall-clock; excluded from cache keys
+    log10_fidelity: float | None = None
+    duration: float | None = None
+    max_nbar: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the underlying job succeeded."""
+        return self.error is None
+
+
+#: CSV column order (== field declaration order).
+FIELDNAMES = [f.name for f in fields(SweepRecord)]
+
+
+def build_record(job: CompileJob, job_result: JobResult) -> SweepRecord:
+    """Flatten one job outcome."""
+    record = SweepRecord(
+        job_index=job_result.job_index,
+        fingerprint=job_result.fingerprint,
+        circuit=job.circuit.name,
+        machine=job.machine.name,
+        config=job.config.name,
+        num_qubits=job.circuit.num_qubits,
+        num_two_qubit_gates=job.circuit.num_two_qubit_gates,
+        simulate=job.simulate,
+        cache_hit=job_result.cache_hit,
+        error=job_result.error,
+    )
+    result = job_result.result
+    if result is not None:
+        record.num_shuttles = result.num_shuttles
+        record.gate_shuttles = result.gate_routing_shuttles
+        record.rebalance_shuttles = result.rebalance_shuttles
+        record.num_reorders = result.num_reorders
+        record.num_rebalances = result.num_rebalances
+        record.compile_time = result.compile_time
+    report = job_result.report
+    if report is not None:
+        record.log10_fidelity = report.log10_fidelity
+        record.duration = report.duration
+        record.max_nbar = report.max_nbar
+    return record
+
+
+def build_records(
+    jobs: Sequence[CompileJob], job_results: Sequence[JobResult]
+) -> list[SweepRecord]:
+    """Flatten a whole runner pass (index-aligned inputs)."""
+    if len(jobs) != len(job_results):
+        raise ValueError(
+            f"{len(jobs)} jobs but {len(job_results)} results"
+        )
+    return [
+        build_record(job, job_result)
+        for job, job_result in zip(jobs, job_results)
+    ]
+
+
+def records_to_json(records: Sequence[SweepRecord]) -> str:
+    """JSON array of record objects (stable key order)."""
+    return json.dumps([asdict(r) for r in records], indent=2)
+
+
+def write_json(records: Sequence[SweepRecord], path: str) -> None:
+    """Write records as a JSON array."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records_to_json(records) + "\n")
+
+
+def write_csv(records: Sequence[SweepRecord], path: str) -> None:
+    """Write records as CSV with a header row."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDNAMES)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(asdict(record))

@@ -1,0 +1,231 @@
+"""Parallel batch executor with cache integration.
+
+:class:`BatchRunner` turns a list of :class:`~repro.batch.jobs.CompileJob`
+into a list of :class:`JobResult`, in job order, regardless of worker
+completion order.  Guarantees:
+
+* **Determinism** — results land at the index of their job; a parallel
+  run is element-wise identical to a serial run of the same jobs.
+* **Error isolation** — a failing job produces a ``JobResult`` carrying
+  the formatted traceback; the rest of the sweep proceeds.
+* **Caching** — fingerprints are checked against the
+  :class:`~repro.batch.cache.ResultCache` *before* dispatch (a warm
+  cache performs zero compilations), and fresh successes are stored
+  after completion.  Identical jobs inside one run are compiled once
+  and fanned out.
+* **Progress** — an optional callback fires in the parent process as
+  each job resolves.
+
+Workers are plain :mod:`multiprocessing` pool processes (``fork`` where
+available, ``spawn`` otherwise); jobs and results cross the boundary by
+pickling, which every model object supports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sys
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+from ..compiler.compiler import QCCDCompiler
+from ..compiler.mapping import greedy_initial_mapping
+from ..compiler.result import CompilationResult
+from ..sim.simulator import SimulationReport, Simulator
+from .cache import CacheStats, NullCache, ResultCache
+from .jobs import CompileJob
+
+#: Progress callback signature: (done, total, job, result).
+ProgressCallback = Callable[[int, int, CompileJob, "JobResult"], None]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: a result or an error, never both."""
+
+    job_index: int
+    fingerprint: str
+    result: CompilationResult | None
+    report: SimulationReport | None = None
+    error: str | None = None
+    #: The original exception object when it survives pickling (so
+    #: callers can re-raise the real type, e.g. CompilationError);
+    #: ``error`` always carries the formatted traceback regardless.
+    exception: Exception | None = None
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the job compiled (and simulated) successfully."""
+        return self.error is None and self.result is not None
+
+
+class BatchError(RuntimeError):
+    """Raised by :meth:`BatchRunner.run` with ``errors="raise"``."""
+
+
+def execute_job(job: CompileJob) -> tuple[CompilationResult, SimulationReport | None]:
+    """Compile (and optionally simulate) one job, serially, in-process.
+
+    This is the single execution path: the serial runner, every pool
+    worker, and any external caller all go through it, so results are
+    identical no matter where a job runs.
+    """
+    chains = job.initial_chains
+    if chains is None:
+        chains = greedy_initial_mapping(job.circuit, job.machine)
+    result = QCCDCompiler(job.machine, job.config).compile(
+        job.circuit, initial_chains=chains
+    )
+    report = None
+    if job.simulate:
+        report = Simulator(job.machine, job.params).run(
+            result.schedule, result.initial_chains
+        )
+    return result, report
+
+
+def _execute_indexed(payload: tuple[int, CompileJob, str]) -> JobResult:
+    """Pool worker: run one job, capturing any failure as a record."""
+    index, job, key = payload
+    try:
+        result, report = execute_job(job)
+        return JobResult(index, key, result, report)
+    except Exception as exc:
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = None  # unpicklable: the traceback string still travels
+        return JobResult(
+            index, key, None, error=traceback.format_exc(), exception=exc
+        )
+
+
+class BatchRunner:
+    """Executes job lists across a worker pool with result caching.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` runs in-process (no pool overhead),
+        ``<= 0`` means one per CPU.
+    cache:
+        A :class:`ResultCache`, a cache-directory path, or ``None``
+        for no caching (equivalent to :class:`NullCache`).
+    progress:
+        Optional callback fired in the parent as each job resolves.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        cache: ResultCache | NullCache | str | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if n_jobs <= 0:
+            n_jobs = multiprocessing.cpu_count()
+        self.n_jobs = n_jobs
+        if cache is None:
+            cache = NullCache()
+        elif isinstance(cache, str):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.progress = progress
+        #: Jobs skipped because an identical job ran earlier in the
+        #: same pass (in-run deduplication, not a disk hit).
+        self.deduplicated = 0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss stats of the underlying cache."""
+        return self.cache.stats
+
+    def run(self, jobs: Sequence[CompileJob]) -> list[JobResult]:
+        """Execute ``jobs``; the result list is index-aligned with them."""
+        total = len(jobs)
+        results: list[JobResult | None] = [None] * total
+        done = 0
+
+        def resolve(index: int, job_result: JobResult) -> None:
+            nonlocal done
+            results[index] = job_result
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, jobs[index], job_result)
+
+        # Cache pass: satisfy what we can before touching the pool, and
+        # collapse identical jobs so each fingerprint compiles once.
+        pending: dict[str, list[int]] = {}
+        to_run: list[tuple[int, CompileJob, str]] = []
+        for index, job in enumerate(jobs):
+            key = job.fingerprint()
+            if key in pending:
+                self.deduplicated += 1
+                pending[key].append(index)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                resolve(
+                    index,
+                    replace(cached, job_index=index, cache_hit=True),
+                )
+                continue
+            pending[key] = [index]
+            to_run.append((index, job, key))
+
+        if to_run:
+            if self.n_jobs == 1 or len(to_run) == 1:
+                fresh = map(_execute_indexed, to_run)
+                for job_result in fresh:
+                    self._finish(job_result, pending, resolve)
+            else:
+                # Prefer the cheap fork start only on Linux; macOS
+                # lists "fork" as available but forked children there
+                # can abort inside system frameworks (hence CPython's
+                # own switch of the darwin default to "spawn").
+                methods = multiprocessing.get_all_start_methods()
+                use_fork = sys.platform == "linux" and "fork" in methods
+                ctx = multiprocessing.get_context(
+                    "fork" if use_fork else "spawn"
+                )
+                workers = min(self.n_jobs, len(to_run))
+                with ctx.Pool(processes=workers) as pool:
+                    for job_result in pool.imap_unordered(
+                        _execute_indexed, to_run
+                    ):
+                        self._finish(job_result, pending, resolve)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _finish(
+        self,
+        job_result: JobResult,
+        pending: dict[str, list[int]],
+        resolve: Callable[[int, JobResult], None],
+    ) -> None:
+        """Store a fresh result and fan it out to duplicate indices."""
+        if job_result.ok:
+            self.cache.put(
+                job_result.fingerprint, replace(job_result, job_index=-1)
+            )
+        for index in pending.pop(job_result.fingerprint):
+            resolve(index, replace(job_result, job_index=index))
+
+    def run_or_raise(self, jobs: Sequence[CompileJob]) -> list[JobResult]:
+        """Like :meth:`run`, but re-raise the first job failure —
+        with its original exception type when available, so callers
+        keep the error contract of the serial path."""
+        results = self.run(jobs)
+        for job_result in results:
+            if not job_result.ok:
+                if job_result.exception is not None:
+                    raise job_result.exception
+                raise BatchError(
+                    f"job {job_result.job_index} "
+                    f"({jobs[job_result.job_index].label}) failed:\n"
+                    f"{job_result.error}"
+                )
+        return results

@@ -7,6 +7,7 @@ Commands
 ``fig8``     regenerate Fig. 8 (fidelity improvement)
 ``ablation`` run the E4/E5 ablation studies
 ``compile``  compile one benchmark and print its statistics
+``sweep``    batch-compile a circuits x machines x configs grid
 ``info``     describe the machine model and compiler configurations
 
 Use ``--full`` (or ``REPRO_FULL=1``) for the complete 120-circuit
@@ -18,18 +19,24 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .arch.presets import grid_machine, l6_machine, linear_machine, ring_machine
+from .batch.cache import NullCache, ResultCache
+from .batch.jobs import sweep
+from .batch.records import build_records, write_csv, write_json
+from .batch.runner import BatchRunner
 from .bench.qaoa import qaoa_circuit
 from .bench.qft import qft_circuit
 from .bench.quadraticform import quadratic_form_circuit
 from .bench.random_circuits import random_circuit
 from .bench.squareroot import squareroot_circuit
-from .bench.suite import nisq_suite
+from .bench.suite import nisq_suite, paper_suite
 from .bench.supremacy import supremacy_circuit
 from .compiler.config import CompilerConfig
 from .eval.ablation import heuristic_ablation, proximity_sweep, render_sweep
 from .eval.figure8 import render_figure8
 from .eval.harness import compare, run_suite
+from .eval.report import render_table
 from .eval.table2 import overall_reduction, render_table2, wins_everywhere
 from .eval.table3 import render_table3
 from .viz.timeline import schedule_summary, shuttle_trace
@@ -43,18 +50,53 @@ _BENCHMARKS = {
     "quadraticform": quadratic_form_circuit,
 }
 
+_SWEEP_CONFIGS = {
+    "baseline": CompilerConfig.baseline,
+    "optimized": CompilerConfig.optimized,
+}
+
+
+def _parse_machine(spec: str) -> object:
+    """One machine spec: ``l6``, ``linearN``, ``ringN`` or ``gridRxC``."""
+    try:
+        if spec == "l6":
+            return l6_machine()
+        if spec.startswith("linear"):
+            return linear_machine(int(spec[len("linear") :]))
+        if spec.startswith("ring"):
+            return ring_machine(int(spec[len("ring") :]))
+        if spec.startswith("grid"):
+            rows, cols = spec[len("grid") :].split("x")
+            return grid_machine(int(rows), int(cols))
+    except ValueError:
+        pass
+    raise SystemExit(f"unknown machine {spec!r}")
+
 
 def _machine_from_args(args) -> object:
-    if args.machine == "l6":
-        return l6_machine()
-    if args.machine.startswith("linear"):
-        return linear_machine(int(args.machine[len("linear") :]))
-    if args.machine.startswith("ring"):
-        return ring_machine(int(args.machine[len("ring") :]))
-    if args.machine.startswith("grid"):
-        rows, cols = args.machine[len("grid") :].split("x")
-        return grid_machine(int(rows), int(cols))
-    raise SystemExit(f"unknown machine {args.machine!r}")
+    return _parse_machine(args.machine)
+
+
+def _parse_benchmark(spec: str):
+    """One circuit spec: a named benchmark or ``random[:Q[:G[:S]]]``."""
+    if spec == "random" or spec.startswith("random:"):
+        parts = spec.split(":")[1:]
+        if len(parts) > 3:
+            raise SystemExit(f"bad random spec {spec!r} (random[:Q[:G[:S]]])")
+        try:
+            qubits = int(parts[0]) if len(parts) > 0 else 64
+            gates = int(parts[1]) if len(parts) > 1 else 1438
+            seed = int(parts[2]) if len(parts) > 2 else 1
+        except ValueError:
+            raise SystemExit(f"bad random spec {spec!r} (random[:Q[:G[:S]]])")
+        return random_circuit(qubits, gates, seed)
+    factory = _BENCHMARKS.get(spec)
+    if factory is None:
+        raise SystemExit(
+            f"unknown benchmark {spec!r}; "
+            f"choose from {sorted(_BENCHMARKS)} or 'random[:Q[:G[:S]]]'"
+        )
+    return factory()
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -153,6 +195,104 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    machines = [_parse_machine(s) for s in args.machines.split(",") if s]
+    if args.benchmarks:
+        circuits = [
+            _parse_benchmark(s) for s in args.benchmarks.split(",") if s
+        ]
+    elif args.suite == "nisq":
+        circuits = nisq_suite()
+    else:
+        circuits = paper_suite(full=args.suite == "paper-full" or None)
+    configs = []
+    for name in args.configs.split(","):
+        if not name:
+            continue
+        factory = _SWEEP_CONFIGS.get(name)
+        if factory is None:
+            raise SystemExit(
+                f"unknown config {name!r}; choose from {sorted(_SWEEP_CONFIGS)}"
+            )
+        configs.append(factory())
+    for axis, flag in (
+        (machines, "--machines"),
+        (circuits, "--benchmarks"),
+        (configs, "--configs"),
+    ):
+        if not axis:
+            raise SystemExit(f"{flag} expanded to an empty list")
+
+    jobs = sweep(circuits, machines, configs, simulate=args.simulate)
+
+    if args.dry_run:
+        headers = [
+            "#", "circuit", "qubits", "2q gates", "machine", "config",
+            "sim", "fingerprint",
+        ]
+        rows = [
+            [str(index)] + job.describe() for index, job in enumerate(jobs)
+        ]
+        print(render_table(headers, rows))
+        print(f"\n{len(jobs)} jobs (dry run: nothing compiled)")
+        return 0
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(done, total, job, job_result):
+        if job_result.error is not None:
+            status = "ERROR"
+        elif job_result.cache_hit:
+            status = f"{job_result.result.num_shuttles} shuttles (cached)"
+        else:
+            status = f"{job_result.result.num_shuttles} shuttles"
+        print(f"[{done}/{total}] {job.label}: {status}")
+
+    runner = BatchRunner(n_jobs=args.jobs, cache=cache, progress=progress)
+    job_results = runner.run(jobs)
+    records = build_records(jobs, job_results)
+
+    headers = [
+        "circuit", "machine", "config", "shuttles", "gate", "rebalance",
+        "reorders", "cached",
+    ]
+    if args.simulate:
+        headers[7:7] = ["log10 F", "duration ms"]
+    rows = []
+    for r in records:
+        cells = [
+            r.circuit,
+            r.machine,
+            r.config,
+            str(r.num_shuttles) if r.ok else "ERROR",
+            str(r.gate_shuttles) if r.ok else "-",
+            str(r.rebalance_shuttles) if r.ok else "-",
+            str(r.num_reorders) if r.ok else "-",
+        ]
+        if args.simulate:
+            cells.append(f"{r.log10_fidelity:.2f}" if r.ok else "-")
+            cells.append(f"{r.duration * 1e3:.2f}" if r.ok else "-")
+        cells.append("yes" if r.cache_hit else "no")
+        rows.append(cells)
+    print()
+    print(render_table(headers, rows))
+    if not args.no_cache:
+        print(f"\ncache: {runner.cache_stats} at {args.cache_dir}")
+    failures = [r for r in records if not r.ok]
+    if failures:
+        print(f"\n{len(failures)} job(s) failed:")
+        for record in failures:
+            last = record.error.strip().splitlines()[-1]
+            print(f"  {record.circuit} @ {record.machine}: {last}")
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        write_json(records, args.json)
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
 def _cmd_info(args) -> int:
     machine = _machine_from_args(args)
     print(machine)
@@ -182,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
             "shuttle-efficient QCCD compilation."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, doc in (
@@ -208,6 +351,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=int, default=0, help="print first N shuttle ops"
     )
     p.set_defaults(handler=_cmd_compile)
+
+    p = sub.add_parser(
+        "sweep",
+        help="batch-compile a circuits x machines x configs grid",
+    )
+    p.add_argument(
+        "--machines",
+        default="l6",
+        help="comma list of machine specs: l6,linearN,ringN,gridRxC",
+    )
+    p.add_argument(
+        "--suite",
+        default="nisq",
+        choices=["nisq", "paper", "paper-full"],
+        help="circuit set: the 5 NISQ benchmarks (default), the paper "
+        "suite, or the paper suite with the full random ensemble",
+    )
+    p.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma list overriding --suite: "
+        f"{','.join(sorted(_BENCHMARKS))} or random[:Q[:G[:S]]]",
+    )
+    p.add_argument(
+        "--configs",
+        default="baseline,optimized",
+        help="comma list of compiler configs: baseline,optimized",
+    )
+    p.add_argument(
+        "--simulate",
+        action="store_true",
+        help="also simulate each compiled schedule (fidelity columns)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per CPU)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="content-addressed result cache directory",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    p.add_argument("--csv", metavar="PATH", help="write flat records as CSV")
+    p.add_argument("--json", metavar="PATH", help="write flat records as JSON")
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded job list without compiling",
+    )
+    p.set_defaults(handler=_cmd_sweep)
 
     return parser
 

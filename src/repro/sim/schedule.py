@@ -42,6 +42,11 @@ class Schedule:
     def __getitem__(self, index: int) -> MachineOp:
         return self._ops[index]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._ops == other._ops
+
     # ------------------------------------------------------------------
     # Statistics (the quantities the paper reports)
     # ------------------------------------------------------------------

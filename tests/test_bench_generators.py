@@ -159,12 +159,14 @@ class TestRandomEnsemble:
         sizes = sorted({c.num_qubits for c in suite})
         assert sizes == [60, 65, 70, 75]
 
+    @pytest.mark.slow
     def test_full_suite_has_125_circuits(self):
         assert len(paper_suite(full=True)) == 125
 
     def test_reduced_suite_has_17_circuits(self):
         assert len(paper_suite(full=False)) == 17
 
+    @pytest.mark.slow
     def test_gate_counts_near_paper_mean(self):
         suite = paper_random_suite(circuits_per_size=30)
         counts = [c.num_two_qubit_gates for c in suite]

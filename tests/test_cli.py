@@ -23,6 +23,22 @@ class TestParser:
         assert args.benchmark == "random"
         assert args.qubits == 12
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--machines", "l6,ring6", "--jobs", "4", "--dry-run"]
+        )
+        assert args.command == "sweep"
+        assert args.jobs == 4
+        assert args.dry_run
+
 
 class TestExecution:
     def test_info(self, capsys):
@@ -53,3 +69,58 @@ class TestExecution:
     def test_compile_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             main(["compile", "frobnicate"])
+
+
+class TestSweepCommand:
+    def test_dry_run_compiles_nothing(self, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "random:10:30:1", "--machines",
+             "linear3,ring3", "--dry-run"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dry run: nothing compiled" in out
+        assert "4 jobs" in out  # 1 circuit x 2 machines x 2 configs
+        assert "fingerprint" in out
+
+    def test_sweep_cold_then_warm_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--benchmarks", "random:10:30:1,random:10:30:2",
+            "--machines", "linear3", "--configs", "baseline,optimized",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--csv", str(tmp_path / "out.csv"),
+            "--json", str(tmp_path / "out.json"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0% hit rate" in cold
+        assert (tmp_path / "out.csv").exists()
+        assert (tmp_path / "out.json").exists()
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "100% hit rate" in warm
+        assert "(cached)" in warm
+
+    def test_sweep_no_cache(self, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "random:10:30:1", "--machines",
+             "linear3", "--configs", "baseline", "--no-cache"]
+        )
+        assert code == 0
+        assert "hit rate" not in capsys.readouterr().out
+
+    def test_sweep_unknown_config(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "random:10:30:1", "--configs",
+                  "frobnicate", "--dry-run"])
+
+    def test_sweep_bad_random_spec(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "random:ten", "--dry-run"])
+
+    def test_sweep_malformed_random_spec_rejected(self):
+        # "random10" (missing colon) must error, not silently become
+        # the 64-qubit default circuit.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "random10", "--dry-run"])
