@@ -1,0 +1,138 @@
+"""Pass-pipeline benchmark: shuttle and fidelity deltas on the paper suite.
+
+Compiles every circuit of the paper suite (reduced random ensemble)
+with the optimized compiler on the L6 machine, runs the default
+post-compilation pass pipeline on each schedule, simulates the raw and
+optimized streams, and writes per-benchmark deltas to
+``benchmarks/_results/BENCH_passes.json``.
+
+Hard guarantees asserted here (the subsystem's acceptance bar):
+
+* the pipeline never increases a shuttle count and never decreases a
+  program fidelity,
+* it strictly reduces total shuttle ops on at least 3 benchmarks,
+* every optimized schedule passes the op-by-op legality verifier and
+  executes the identical circuit.
+
+Run with ``pytest benchmarks/bench_passes.py``.
+"""
+
+import json
+import time
+
+from conftest import write_result
+
+
+def test_pass_pipeline_on_paper_suite(results_dir, machine):
+    from repro.bench.suite import paper_suite
+    from repro.compiler.compiler import compile_circuit
+    from repro.passes import (
+        PassManager,
+        verify_equivalent,
+        verify_schedule,
+    )
+    from repro.sim.simulator import Simulator
+
+    manager = PassManager()  # default pipeline, fidelity guard on
+    simulator = Simulator(machine)
+    rows = []
+    strict_reductions = 0
+
+    for circuit in paper_suite(full=False):
+        result = compile_circuit(circuit, machine)
+        start = time.perf_counter()
+        optimization = manager.run(
+            result.schedule, machine, result.initial_chains
+        )
+        optimize_seconds = time.perf_counter() - start
+
+        # Safety: legality + circuit equivalence of the shipped stream.
+        verify_schedule(
+            machine, optimization.schedule, result.initial_chains
+        )
+        verify_equivalent(result.schedule, optimization.schedule)
+
+        raw_report = simulator.run(
+            optimization.raw_schedule, result.initial_chains
+        )
+        opt_report = simulator.run(
+            optimization.schedule, result.initial_chains
+        )
+
+        # Acceptance: never more shuttles, never less fidelity.
+        assert (
+            optimization.num_shuttles <= optimization.raw_num_shuttles
+        ), circuit.name
+        assert (
+            opt_report.program_log_fidelity
+            >= raw_report.program_log_fidelity - 1e-9
+        ), circuit.name
+        assert opt_report.duration <= raw_report.duration + 1e-12
+
+        if optimization.shuttles_removed > 0:
+            strict_reductions += 1
+        rows.append(
+            {
+                "circuit": circuit.name,
+                "raw_shuttles": optimization.raw_num_shuttles,
+                "optimized_shuttles": optimization.num_shuttles,
+                "shuttles_removed": optimization.shuttles_removed,
+                "raw_log10_fidelity": round(
+                    raw_report.log10_fidelity, 4
+                ),
+                "optimized_log10_fidelity": round(
+                    opt_report.log10_fidelity, 4
+                ),
+                "raw_duration_ms": round(raw_report.duration * 1e3, 3),
+                "optimized_duration_ms": round(
+                    opt_report.duration * 1e3, 3
+                ),
+                "optimize_seconds": round(optimize_seconds, 3),
+                "passes": {
+                    stats.name: {
+                        "rewrites": stats.rewrites,
+                        "shuttles_removed": stats.shuttles_removed,
+                        "ops_removed": stats.ops_removed,
+                        "reverted": stats.reverted,
+                    }
+                    for stats in optimization.passes
+                    if stats.rewrites
+                },
+            }
+        )
+
+    assert strict_reductions >= 3, (
+        f"pipeline strictly reduced shuttles on only "
+        f"{strict_reductions} benchmarks"
+    )
+    summary = {
+        "machine": machine.name,
+        "benchmarks": len(rows),
+        "strict_shuttle_reductions": strict_reductions,
+        "total_shuttles_removed": sum(
+            r["shuttles_removed"] for r in rows
+        ),
+        "results": rows,
+    }
+    write_result(
+        results_dir, "BENCH_passes.json", json.dumps(summary, indent=2)
+    )
+
+    from repro.eval.report import render_optimization_table
+
+    write_result(
+        results_dir,
+        "BENCH_passes.txt",
+        render_optimization_table(
+            [
+                (
+                    r["circuit"],
+                    r["raw_shuttles"],
+                    r["optimized_shuttles"],
+                    r["raw_log10_fidelity"],
+                    r["optimized_log10_fidelity"],
+                )
+                for r in rows
+            ]
+        ),
+    )

@@ -15,7 +15,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro import l6_machine
+from repro import PassManager, l6_machine
 from repro.bench import (
     qaoa_circuit,
     qft_circuit,
@@ -24,7 +24,7 @@ from repro.bench import (
     supremacy_circuit,
 )
 from repro.eval import compare
-from repro.viz import gate_trap_histogram, schedule_summary
+from repro.viz import gate_trap_histogram, schedule_summary, timeline_diff
 
 FACTORIES = {
     "supremacy": supremacy_circuit,
@@ -69,6 +69,22 @@ def main() -> None:
         f"fidelity improvement: {comparison.fidelity_improvement:.2f}X "
         f"(paper range: 1.25X .. 22.68X)"
     )
+
+    # Post-compilation optimization: run the default pass pipeline on
+    # the optimized compiler's output and show what it rewrote.
+    optimization = PassManager().run(
+        comparison.optimized.schedule,
+        machine,
+        comparison.optimized.initial_chains,
+    )
+    print(f"\n== post-compilation passes ==\n  {optimization.summary()}")
+    if optimization.total_rewrites:
+        print("\nbefore/after timeline (rewritten ops: ~ elided, + added):")
+        print(
+            timeline_diff(
+                optimization.raw_schedule, optimization.schedule, limit=30
+            )
+        )
 
 
 if __name__ == "__main__":

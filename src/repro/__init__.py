@@ -58,6 +58,14 @@ from .compiler import (
     compile_circuit,
     greedy_initial_mapping,
 )
+from .passes import (
+    OptimizationResult,
+    PassManager,
+    PassStats,
+    available_passes,
+    optimize_schedule,
+    verify_schedule,
+)
 from .sim import (
     MachineParams,
     NoiseParams,
@@ -84,6 +92,9 @@ __all__ = [
     "SweepRecord",
     "MachineParams",
     "NoiseParams",
+    "OptimizationResult",
+    "PassManager",
+    "PassStats",
     "QCCDCompiler",
     "QCCDMachine",
     "Schedule",
@@ -93,6 +104,7 @@ __all__ = [
     "TrapSpec",
     "TrapTopology",
     "__version__",
+    "available_passes",
     "circuit_to_qasm",
     "compile_and_simulate",
     "compile_circuit",
@@ -105,7 +117,9 @@ __all__ = [
     "linear_machine",
     "linear_topology",
     "load_qasm",
+    "optimize_schedule",
     "parse_qasm",
+    "verify_schedule",
     "ring_machine",
     "ring_topology",
     "sweep",

@@ -37,7 +37,10 @@ from ..circuits.circuit import Circuit
 
 #: Bump to invalidate every existing cache entry when the canonical
 #: encoding (or compilation semantics) changes incompatibly.
-FINGERPRINT_VERSION = 1
+#: v2: CompilerConfig grew ``post_passes`` (and CompilationResult grew
+#: pass-delta fields), changing both the canonical config encoding and
+#: the pickled result layout.
+FINGERPRINT_VERSION = 2
 
 
 class FingerprintError(TypeError):

@@ -41,6 +41,12 @@ class SweepRecord:
     rebalance_shuttles: int | None = None
     num_reorders: int | None = None
     num_rebalances: int | None = None
+    # Post-pass optimization columns (None when the config ran no
+    # passes): pre-pass shuttle count, shuttles the pipeline deleted,
+    # and rewrites shipped by non-reverted passes.
+    raw_num_shuttles: int | None = None
+    shuttles_removed: int | None = None
+    pass_rewrites: int | None = None
     compile_time: float | None = None  # wall-clock; excluded from cache keys
     log10_fidelity: float | None = None
     duration: float | None = None
@@ -78,6 +84,10 @@ def build_record(job: CompileJob, job_result: JobResult) -> SweepRecord:
         record.num_reorders = result.num_reorders
         record.num_rebalances = result.num_rebalances
         record.compile_time = result.compile_time
+        if result.optimized:
+            record.raw_num_shuttles = result.raw_num_shuttles
+            record.shuttles_removed = result.shuttles_removed_by_passes
+            record.pass_rewrites = result.pass_rewrites
     report = job_result.report
     if report is not None:
         record.log10_fidelity = report.log10_fidelity

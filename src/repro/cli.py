@@ -7,8 +7,9 @@ Commands
 ``fig8``     regenerate Fig. 8 (fidelity improvement)
 ``ablation`` run the E4/E5 ablation studies
 ``compile``  compile one benchmark and print its statistics
+``optimize`` run the post-compilation pass pipeline on one benchmark
 ``sweep``    batch-compile a circuits x machines x configs grid
-``info``     describe the machine model and compiler configurations
+``info``     describe the machine model, compiler configs and passes
 
 Use ``--full`` (or ``REPRO_FULL=1``) for the complete 120-circuit
 random ensemble.
@@ -36,10 +37,12 @@ from .compiler.config import CompilerConfig
 from .eval.ablation import heuristic_ablation, proximity_sweep, render_sweep
 from .eval.figure8 import render_figure8
 from .eval.harness import compare, run_suite
-from .eval.report import render_table
+from .eval.report import render_optimization_table, render_table
 from .eval.table2 import overall_reduction, render_table2, wins_everywhere
 from .eval.table3 import render_table3
-from .viz.timeline import schedule_summary, shuttle_trace
+from .passes import PassManager, available_passes, resolve_pass_names
+from .sim.simulator import Simulator
+from .viz.timeline import schedule_summary, shuttle_trace, timeline_diff
 from .viz.trapview import render_chains, render_topology
 
 _BENCHMARKS = {
@@ -159,6 +162,18 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _parse_pass_list(spec: str | None) -> tuple[str, ...]:
+    """Validate a comma list of pass names ('' / None -> no passes)."""
+    if not spec:
+        return ()
+    try:
+        return resolve_pass_names(
+            [name for name in spec.split(",") if name]
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_compile(args) -> int:
     machine = _machine_from_args(args)
     if args.benchmark == "random":
@@ -171,7 +186,18 @@ def _cmd_compile(args) -> int:
                 f"choose from {sorted(_BENCHMARKS)} or 'random'"
             )
         circuit = factory()
-    comparison = compare(circuit, machine, simulate=True)
+    passes = _parse_pass_list(args.passes)
+    comparison = compare(
+        circuit,
+        machine,
+        baseline_config=CompilerConfig.baseline().variant(
+            post_passes=passes
+        ),
+        optimized_config=CompilerConfig.optimized().variant(
+            post_passes=passes
+        ),
+        simulate=True,
+    )
     for label, result, report in (
         ("baseline [7]", comparison.baseline, comparison.baseline_report),
         ("this work", comparison.optimized, comparison.optimized_report),
@@ -195,6 +221,93 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _cmd_optimize(args) -> int:
+    """Compile one benchmark, then run the pass pipeline explicitly and
+    report per-pass deltas plus the raw-vs-optimized comparison."""
+    machine = _machine_from_args(args)
+    circuit = _parse_benchmark(args.benchmark)
+    config = (
+        CompilerConfig.baseline()
+        if args.config == "baseline"
+        else CompilerConfig.optimized()
+    )
+    from .compiler.compiler import compile_circuit
+
+    result = compile_circuit(circuit, machine, config)
+    passes = _parse_pass_list(args.passes) or None
+    manager = PassManager(passes, fidelity_guard=not args.no_guard)
+    optimization = manager.run(
+        result.schedule, machine, result.initial_chains
+    )
+
+    headers = [
+        "pass", "rewrites", "shuttles", "splits", "merges", "ops",
+        "status",
+    ]
+    rows = []
+    for stats in optimization.passes:
+        if stats.reverted:
+            status = "reverted"
+        elif stats.rewrites:
+            status = "applied"
+        else:
+            status = "no-op"
+        rows.append(
+            [
+                stats.name,
+                str(stats.rewrites),
+                str(-stats.shuttles_removed),
+                str(-stats.splits_removed),
+                str(-stats.merges_removed),
+                str(-stats.ops_removed),
+                status,
+            ]
+        )
+    print(f"{circuit.name} [{config.name}] on {machine.name}")
+    print(render_table(headers, rows))
+    print()
+
+    simulator = Simulator(machine)
+    raw_report = simulator.run(
+        optimization.raw_schedule, result.initial_chains
+    )
+    opt_report = simulator.run(
+        optimization.schedule, result.initial_chains
+    )
+    print(
+        render_optimization_table(
+            [
+                (
+                    circuit.name,
+                    optimization.raw_num_shuttles,
+                    optimization.num_shuttles,
+                    raw_report.log10_fidelity,
+                    opt_report.log10_fidelity,
+                )
+            ],
+            markdown=args.markdown,
+        )
+    )
+    print(
+        f"ops: {len(optimization.raw_schedule)} -> "
+        f"{len(optimization.schedule)}, duration: "
+        f"{raw_report.duration * 1e3:.2f} -> "
+        f"{opt_report.duration * 1e3:.2f} ms"
+    )
+    print()
+    print(optimization.summary())
+    if args.diff:
+        print()
+        print(
+            timeline_diff(
+                optimization.raw_schedule,
+                optimization.schedule,
+                limit=args.diff,
+            )
+        )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     machines = [_parse_machine(s) for s in args.machines.split(",") if s]
     if args.benchmarks:
@@ -205,6 +318,7 @@ def _cmd_sweep(args) -> int:
         circuits = nisq_suite()
     else:
         circuits = paper_suite(full=args.suite == "paper-full" or None)
+    passes = _parse_pass_list(args.passes)
     configs = []
     for name in args.configs.split(","):
         if not name:
@@ -214,7 +328,12 @@ def _cmd_sweep(args) -> int:
             raise SystemExit(
                 f"unknown config {name!r}; choose from {sorted(_SWEEP_CONFIGS)}"
             )
-        configs.append(factory())
+        config = factory()
+        if passes:
+            config = config.variant(
+                post_passes=passes, name=config.name + "+passes"
+            )
+        configs.append(config)
     for axis, flag in (
         (machines, "--machines"),
         (circuits, "--benchmarks"),
@@ -256,8 +375,10 @@ def _cmd_sweep(args) -> int:
         "circuit", "machine", "config", "shuttles", "gate", "rebalance",
         "reorders", "cached",
     ]
+    if passes:
+        headers[4:4] = ["raw", "removed"]
     if args.simulate:
-        headers[7:7] = ["log10 F", "duration ms"]
+        headers[-1:-1] = ["log10 F", "duration ms"]
     rows = []
     for r in records:
         cells = [
@@ -265,6 +386,19 @@ def _cmd_sweep(args) -> int:
             r.machine,
             r.config,
             str(r.num_shuttles) if r.ok else "ERROR",
+        ]
+        if passes:
+            cells.append(
+                str(r.raw_num_shuttles)
+                if r.ok and r.raw_num_shuttles is not None
+                else "-"
+            )
+            cells.append(
+                str(r.shuttles_removed)
+                if r.ok and r.shuttles_removed is not None
+                else "-"
+            )
+        cells += [
             str(r.gate_shuttles) if r.ok else "-",
             str(r.rebalance_shuttles) if r.ok else "-",
             str(r.num_reorders) if r.ok else "-",
@@ -311,6 +445,10 @@ def _cmd_info(args) -> int:
     print()
     for config in (CompilerConfig.baseline(), CompilerConfig.optimized()):
         print(f"{config.name}: {config}")
+    print()
+    print("post-compilation passes (--passes, repro optimize):")
+    for name, description in available_passes():
+        print(f"  {name}: {description}")
     return 0
 
 
@@ -350,7 +488,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", type=int, default=0, help="print first N shuttle ops"
     )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="comma list of post-compilation passes applied to both "
+        "configs ('default' = full pipeline; see 'repro info')",
+    )
     p.set_defaults(handler=_cmd_compile)
+
+    p = sub.add_parser(
+        "optimize",
+        help="run the post-compilation pass pipeline on one benchmark",
+    )
+    _add_common(p)
+    p.add_argument(
+        "benchmark",
+        help=f"one of {sorted(_BENCHMARKS)} or 'random[:Q[:G[:S]]]'",
+    )
+    p.add_argument(
+        "--config",
+        default="optimized",
+        choices=["baseline", "optimized"],
+        help="compiler configuration to optimize the output of",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="comma list of passes to run (default: the full pipeline; "
+        "see 'repro info' for the catalogue)",
+    )
+    p.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="skip the per-pass fidelity-regression rollback",
+    )
+    p.add_argument(
+        "--diff",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N lines of the before/after timeline diff",
+    )
+    p.set_defaults(handler=_cmd_optimize)
 
     p = sub.add_parser(
         "sweep",
@@ -378,6 +559,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--configs",
         default="baseline,optimized",
         help="comma list of compiler configs: baseline,optimized",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="comma list of post-compilation passes threaded into "
+        "every config ('default' = full pipeline; see 'repro info')",
     )
     p.add_argument(
         "--simulate",

@@ -222,18 +222,68 @@ class QCCDCompiler:
             gate_order.append(index)
             pos += 1
 
+        pass_stats: tuple = ()
+        raw_num_shuttles = raw_num_ops = None
+        final_chains = state.snapshot_chains()
+        if self.config.post_passes:
+            # Post-compilation optimization (repro.passes): rewrite the
+            # emitted stream, verifying legality + circuit equivalence
+            # per pass and rolling back fidelity regressions.
+            from ..passes.manager import PassManager
+
+            optimization = PassManager(self.config.post_passes).run(
+                schedule,
+                self.machine,
+                {t: list(c) for t, c in initial_chains.items()},
+            )
+            raw_num_shuttles = optimization.raw_num_shuttles
+            raw_num_ops = len(optimization.raw_schedule)
+            pass_stats = optimization.passes
+            if optimization.schedule is not schedule:
+                gate_order = _remap_gate_order(
+                    gate_order, schedule, optimization.schedule
+                )
+            schedule = optimization.schedule
+            if optimization.final_chains is not None:
+                final_chains = {
+                    t: list(c)
+                    for t, c in optimization.final_chains.items()
+                }
+
         compile_time = time.perf_counter() - start_time
         return CompilationResult(
             circuit_name=circuit.name,
             config_name=self.config.name,
             schedule=schedule,
             initial_chains={t: list(c) for t, c in initial_chains.items()},
-            final_chains=state.snapshot_chains(),
+            final_chains=final_chains,
             gate_order=gate_order,
             num_reorders=num_reorders,
             num_rebalances=router.num_rebalances,
             compile_time=compile_time,
+            pass_stats=pass_stats,
+            raw_num_shuttles=raw_num_shuttles,
+            raw_num_ops=raw_num_ops,
         )
+
+
+def _remap_gate_order(
+    gate_order: list[int], raw: Schedule, optimized: Schedule
+) -> list[int]:
+    """Re-derive original-circuit gate indices for an optimized stream.
+
+    Pass rewrites may reorder independent gates, so the emission-time
+    ``gate_order`` no longer lines up with the shipped schedule's gate
+    ops.  Identical gates are interchangeable, so matching each
+    optimized gate to the earliest unconsumed raw occurrence of the
+    same gate yields a consistent order.
+    """
+    from collections import defaultdict, deque
+
+    available: dict = defaultdict(deque)
+    for index, op in zip(gate_order, raw.gate_ops()):
+        available[op.gate].append(index)
+    return [available[op.gate].popleft() for op in optimized.gate_ops()]
 
 
 def compile_circuit(

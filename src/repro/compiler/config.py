@@ -81,6 +81,18 @@ class CompilerConfig:
         direction stays achievable — the Section III-C machinery applied
         at the destination.  Off by default: the E5 ablation measures it
         as a net loss (it feeds a revolving door at congested traps).
+    post_passes:
+        Post-compilation schedule-optimization passes
+        (:mod:`repro.passes`) applied, in order, to the emitted
+        schedule: each named pass rewrites the op stream (round-trip
+        elision, merge/split fusion, congestion re-routing, gate
+        hoisting), is verified for machine legality and circuit
+        equivalence, and is rolled back when the simulated program
+        fidelity regresses (guard simulated under the default
+        parameter set).  Empty (the default) compiles exactly as the
+        paper does; ``("default",)`` expands to the full pipeline.
+        Part of the batch-cache fingerprint, so cached results stay
+        sound across pass configurations.
     track_chain_order:
         Model physical ion order within chains (Fig. 3 step (i)): an
         ion must sit at the chain end facing its exit edge before it
@@ -104,6 +116,7 @@ class CompilerConfig:
     capacity_guard: int = 1
     score_decay: float = 1.0
     cheap_evict: bool = False
+    post_passes: tuple[str, ...] = ()
     track_chain_order: bool = False
     name: str = "optimized"
 
@@ -132,6 +145,17 @@ class CompilerConfig:
             raise ValueError("capacity_guard must be non-negative")
         if not 0.0 < self.score_decay <= 1.0:
             raise ValueError("score_decay must be in (0, 1]")
+        if self.post_passes:
+            # Normalize to a validated tuple ("default"/"all" expand to
+            # the full pipeline); unknown names raise here, not at the
+            # end of a long compilation.
+            from ..passes.registry import resolve_pass_names
+
+            object.__setattr__(
+                self, "post_passes", resolve_pass_names(self.post_passes)
+            )
+        elif not isinstance(self.post_passes, tuple):
+            object.__setattr__(self, "post_passes", ())
 
     @classmethod
     def baseline(cls) -> "CompilerConfig":

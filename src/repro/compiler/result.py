@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..passes.manager import PassStats
 from ..sim.ops import ShuttleReason
 from ..sim.schedule import Schedule
 
@@ -15,7 +16,10 @@ class CompilationResult:
 
     The schedule plus the initial chains are sufficient to simulate the
     program; the remaining fields are bookkeeping for the evaluation
-    harness (Table II / Table III columns).
+    harness (Table II / Table III columns).  When the configuration
+    names ``post_passes``, ``schedule`` is the *optimized* stream and
+    the raw (pre-pass) counts plus per-pass deltas are recorded so
+    reports can show optimized-vs-raw columns.
     """
 
     circuit_name: str
@@ -30,6 +34,11 @@ class CompilationResult:
     # timing is host- and run-dependent, so a cached batch result must
     # still compare equal to a fresh compilation of the same inputs.
     compile_time: float = field(compare=False, default=0.0)
+    # Post-compilation optimization bookkeeping (empty/None when the
+    # config ran no passes).  Deterministic, so part of equality.
+    pass_stats: tuple[PassStats, ...] = ()
+    raw_num_shuttles: int | None = None
+    raw_num_ops: int | None = None
 
     @property
     def num_shuttles(self) -> int:
@@ -60,9 +69,28 @@ class CompilationResult:
         """Shuttles emitted resolving traffic blocks."""
         return self.shuttles_by_reason().get(ShuttleReason.REBALANCE, 0)
 
+    @property
+    def optimized(self) -> bool:
+        """True when post-compilation passes ran on this result."""
+        return self.raw_num_shuttles is not None
+
+    @property
+    def shuttles_removed_by_passes(self) -> int:
+        """Shuttles deleted by the post-pass pipeline (0 without one)."""
+        if self.raw_num_shuttles is None:
+            return 0
+        return self.raw_num_shuttles - self.num_shuttles
+
+    @property
+    def pass_rewrites(self) -> int:
+        """Total rewrites shipped by non-reverted passes."""
+        return sum(
+            s.rewrites for s in self.pass_stats if not s.reverted
+        )
+
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"{self.circuit_name} [{self.config_name}]: "
             f"{self.num_shuttles} shuttles "
             f"({self.gate_routing_shuttles} gate / "
@@ -70,3 +98,10 @@ class CompilationResult:
             f"{self.num_reorders} reorders, "
             f"{self.compile_time * 1e3:.1f} ms compile"
         )
+        if self.optimized:
+            text += (
+                f", passes: {self.raw_num_shuttles} -> "
+                f"{self.num_shuttles} shuttles "
+                f"({self.pass_rewrites} rewrites)"
+            )
+        return text

@@ -16,7 +16,12 @@ from .metrics import (
     improvement_factor,
     reduction_percent,
 )
-from .report import render_bar_chart, render_markdown_table, render_table
+from .report import (
+    render_bar_chart,
+    render_markdown_table,
+    render_optimization_table,
+    render_table,
+)
 from .table2 import (
     Table2Row,
     build_table2,
@@ -49,6 +54,7 @@ __all__ = [
     "render_bar_chart",
     "render_figure8",
     "render_markdown_table",
+    "render_optimization_table",
     "render_sweep",
     "render_table",
     "render_table2",

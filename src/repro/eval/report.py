@@ -36,6 +36,44 @@ def render_markdown_table(
     return "\n".join(lines)
 
 
+#: Column headers of the optimized-vs-raw pass report.
+OPTIMIZATION_HEADERS = [
+    "circuit",
+    "raw shuttles",
+    "opt shuttles",
+    "%delta",
+    "raw log10 F",
+    "opt log10 F",
+]
+
+
+def render_optimization_table(
+    rows: Sequence[Sequence[object]], markdown: bool = False
+) -> str:
+    """Render per-circuit optimized-vs-raw shuttle and fidelity columns.
+
+    Each row is ``(name, raw_shuttles, optimized_shuttles,
+    raw_log10_fidelity, optimized_log10_fidelity)``; the %delta column
+    (shuttles removed, the paper's Table II convention) is derived.
+    """
+    from .metrics import reduction_percent
+
+    cells = []
+    for name, raw_shuttles, opt_shuttles, raw_logf, opt_logf in rows:
+        cells.append(
+            [
+                name,
+                str(raw_shuttles),
+                str(opt_shuttles),
+                f"{reduction_percent(raw_shuttles, opt_shuttles):.2f}",
+                f"{raw_logf:.3f}",
+                f"{opt_logf:.3f}",
+            ]
+        )
+    renderer = render_markdown_table if markdown else render_table
+    return renderer(OPTIMIZATION_HEADERS, cells)
+
+
 def render_bar_chart(
     labels: Sequence[str],
     values: Sequence[float],

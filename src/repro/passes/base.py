@@ -1,0 +1,248 @@
+"""Shared infrastructure for schedule-optimization passes.
+
+A pass is a pure rewrite: it receives a compiled
+:class:`~repro.sim.schedule.Schedule` plus the compilation context
+(machine model, initial chains) and returns a rewritten schedule with a
+count of the rewrites it performed.  Passes never mutate their input —
+the :class:`~repro.passes.manager.PassManager` decides whether the
+output is kept (after verification) or discarded.
+
+This module also provides the stream analyses every shuttle-rewriting
+pass needs:
+
+* :func:`extract_excursions` — group each ion's SPLIT/MOVE.../MERGE
+  chains into :class:`Excursion` records (one per trip between traps),
+* :func:`gate_indices_by_ion` / :func:`has_gate_on_ion_between` — fast
+  "did a gate touch this ion inside this window?" queries,
+* :func:`estimate_makespan` — a timing-only replay of the simulator's
+  clock model (gates serial per trap, moves synchronize endpoints) used
+  by passes that optimize duration rather than op counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..arch.machine import QCCDMachine
+from ..sim.ops import GateOp, MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
+from ..sim.params import TimingParams
+from ..sim.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class PassContext:
+    """Everything a pass may consult besides the op stream itself."""
+
+    machine: QCCDMachine
+    initial_chains: dict[int, list[int]]
+
+
+class SchedulePass(ABC):
+    """One composable schedule rewrite.
+
+    Subclasses define ``name`` (the registry/CLI identifier) and
+    ``description`` (one line, shown by ``repro info``), and implement
+    :meth:`run`.
+    """
+
+    name: str = "pass"
+    description: str = ""
+
+    @abstractmethod
+    def run(
+        self, schedule: Schedule, ctx: PassContext
+    ) -> tuple[Schedule, int]:
+        """Rewrite ``schedule``; return (new schedule, rewrite count).
+
+        A rewrite count of 0 means the pass found nothing to do and the
+        returned schedule is (semantically) the input.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class Excursion:
+    """One ion trip: SPLIT, one MOVE per hop, MERGE.
+
+    ``prep_swap_indices`` are the in-chain SWAP ops emitted immediately
+    before the split to walk the ion to its exit end of the chain
+    (``track_chain_order`` compilations only) — they belong to the trip
+    and die with it.
+    """
+
+    ion: int
+    split_index: int
+    move_indices: list[int] = field(default_factory=list)
+    merge_index: int = -1
+    prep_swap_indices: list[int] = field(default_factory=list)
+    start_trap: int = -1
+    end_trap: int = -1
+
+    def op_indices(self, include_prep_swaps: bool = True) -> list[int]:
+        """Every stream index belonging to this trip, ascending."""
+        indices = (
+            list(self.prep_swap_indices) if include_prep_swaps else []
+        )
+        indices.append(self.split_index)
+        indices.extend(self.move_indices)
+        indices.append(self.merge_index)
+        return sorted(indices)
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.move_indices)
+
+
+def extract_excursions(ops: Sequence[MachineOp]) -> list[Excursion]:
+    """All complete excursions of the op stream, in merge order.
+
+    Incomplete trips (split without merge — illegal anyway) are dropped.
+    """
+    open_trips: dict[int, Excursion] = {}
+    # SWAPs directly preceding a split and involving the split ion are
+    # that trip's chain-end repositioning; remember the trailing run.
+    trailing_swaps: list[tuple[int, SwapOp]] = []
+    excursions: list[Excursion] = []
+
+    for index, op in enumerate(ops):
+        if isinstance(op, SwapOp):
+            trailing_swaps.append((index, op))
+            continue
+        if isinstance(op, SplitOp):
+            trip = Excursion(
+                ion=op.ion, split_index=index, start_trap=op.trap
+            )
+            for swap_index, swap in reversed(trailing_swaps):
+                if op.ion in (swap.ion_a, swap.ion_b):
+                    trip.prep_swap_indices.insert(0, swap_index)
+                else:
+                    break
+            open_trips[op.ion] = trip
+        elif isinstance(op, MoveOp):
+            trip = open_trips.get(op.ion)
+            if trip is not None:
+                trip.move_indices.append(index)
+        elif isinstance(op, MergeOp):
+            trip = open_trips.pop(op.ion, None)
+            if trip is not None:
+                trip.merge_index = index
+                trip.end_trap = op.trap
+                excursions.append(trip)
+        trailing_swaps.clear()
+    return excursions
+
+
+def gate_indices_by_ion(
+    ops: Sequence[MachineOp],
+) -> dict[int, list[int]]:
+    """For each qubit, the ascending stream indices of gates touching it."""
+    indices: dict[int, list[int]] = {}
+    for index, op in enumerate(ops):
+        if isinstance(op, GateOp):
+            for qubit in op.gate.qubits:
+                indices.setdefault(qubit, []).append(index)
+    return indices
+
+
+def has_gate_on_ion_between(
+    gate_indices: dict[int, list[int]], ion: int, lo: int, hi: int
+) -> bool:
+    """True when a gate touches ``ion`` at a stream index in (lo, hi)."""
+    positions = gate_indices.get(ion)
+    if not positions:
+        return False
+    return bisect_left(positions, hi) > bisect_right(positions, lo)
+
+
+def occupancy_timeline(
+    ops: Sequence[MachineOp],
+) -> list[tuple[int, int, int]]:
+    """Occupancy deltas as (stream index, trap, delta) events.
+
+    Transit ions occupy no trap (matching the simulator); only splits
+    and merges change occupancy.
+    """
+    events: list[tuple[int, int, int]] = []
+    for index, op in enumerate(ops):
+        if isinstance(op, SplitOp):
+            events.append((index, op.trap, -1))
+        elif isinstance(op, MergeOp):
+            events.append((index, op.trap, +1))
+    return events
+
+
+def occupancy_at(
+    events: Sequence[tuple[int, int, int]],
+    machine: QCCDMachine,
+    initial_chains: dict[int, list[int]],
+    position: int,
+) -> list[int]:
+    """Per-trap ion counts just before stream index ``position``."""
+    occupancy = [
+        len(initial_chains.get(t, [])) for t in range(machine.num_traps)
+    ]
+    for index, trap, delta in events:
+        if index >= position:
+            break
+        occupancy[trap] += delta
+    return occupancy
+
+
+def estimate_makespan(
+    machine: QCCDMachine,
+    schedule: Schedule,
+    timing: TimingParams | None = None,
+) -> float:
+    """Makespan of a (legal) schedule under the simulator's clock model.
+
+    Gates and split/merge/swap ops advance their trap's clock; a move
+    synchronizes both endpoint clocks then advances them together.
+    Noise is irrelevant to timing, so this is a cheap scalar objective
+    for duration-oriented passes.
+    """
+    if timing is None:
+        timing = TimingParams()
+    clocks = [0.0] * machine.num_traps
+    for op in schedule:
+        if isinstance(op, GateOp):
+            clocks[op.trap] += timing.gate_time(op.gate.num_qubits)
+        elif isinstance(op, SplitOp):
+            clocks[op.trap] += timing.split_time
+        elif isinstance(op, MergeOp):
+            clocks[op.trap] += timing.merge_time
+        elif isinstance(op, SwapOp):
+            clocks[op.trap] += timing.swap_time
+        elif isinstance(op, MoveOp):
+            start = max(clocks[op.src], clocks[op.dst])
+            clocks[op.src] = start + timing.move_time
+            clocks[op.dst] = start + timing.move_time
+    return max(clocks) if clocks else 0.0
+
+
+def rebuild(
+    ops: Sequence[MachineOp],
+    deleted: set[int],
+    insertions: dict[int, list[MachineOp]] | None = None,
+) -> Schedule:
+    """Materialize an edited op stream.
+
+    ``deleted`` indices are dropped; ``insertions[i]`` ops are emitted
+    at position ``i`` (before the original op there, which is normally
+    itself deleted).
+    """
+    out: list[MachineOp] = []
+    for index, op in enumerate(ops):
+        if insertions and index in insertions:
+            out.extend(insertions[index])
+        if index not in deleted:
+            out.append(op)
+    if insertions:
+        tail = insertions.get(len(ops))
+        if tail:
+            out.extend(tail)
+    return Schedule(out)

@@ -1,0 +1,213 @@
+"""Merge/split fusion (with opportunistic route shortening).
+
+A parked ion is one the compiler merged into a trap and split right
+back out before any gate touched it there — the classic shape of a
+re-balancing eviction that immediately resumed its journey.  The merge
+and split were pure overhead: fusing the two excursions lets the ion
+pass *through* the trap in transit, saving a split and a merge (time
+and heating; transit ions do not even occupy a chain slot).
+
+Fusion also exposes a stronger rewrite: once the two legs are one
+journey from the first leg's origin ``S`` to the second leg's
+destination ``D``, the concatenated hop sequence may be longer than the
+machine's shortest ``S -> D`` route (an ion evicted two traps right and
+then needed one trap left walks 3 hops where 1 suffices).  When it is,
+the whole journey is re-emitted along a shortest path — strictly fewer
+MoveOps, i.e. fewer shuttles in the paper's Table II accounting.
+
+Every rewrite is speculative and individually verified: the shortened
+route occupies different traps at different stream positions, so a
+candidate is kept only when the full legality replay accepts it.  The
+late anchor (emitting the journey where the original second leg ended)
+is tried before the early anchor (where the first leg began), because
+keeping the ion home longest is the least disruptive to capacity.
+Chain-order schedules with explicit merge positions are fused but never
+re-routed (entry-edge semantics would change).
+"""
+
+from __future__ import annotations
+
+from .base import (
+    Excursion,
+    PassContext,
+    SchedulePass,
+    extract_excursions,
+    gate_indices_by_ion,
+    has_gate_on_ion_between,
+    rebuild,
+)
+from .verify import is_legal
+from ..sim.ops import MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
+from ..sim.schedule import Schedule
+
+#: Safety cap on fusion sweeps (each sweep must accept at least one
+#: rewrite to continue; real schedules converge in a handful).
+_MAX_SWEEPS = 64
+
+
+class MergeSplitFusion(SchedulePass):
+    """Fuse merge/re-split pairs; shorten the fused route when possible."""
+
+    name = "fuse-merge-split"
+    description = (
+        "an ion merged and re-split with no gate in between keeps "
+        "moving instead, re-routed via a shortest path when shorter"
+    )
+
+    def run(
+        self, schedule: Schedule, ctx: PassContext
+    ) -> tuple[Schedule, int]:
+        ops = list(schedule.ops)
+        rewrites = 0
+        for _ in range(_MAX_SWEEPS):
+            accepted = self._sweep(ops, ctx)
+            if not accepted:
+                break
+            rewrites += accepted
+        return Schedule(ops), rewrites
+
+    def _sweep(self, ops: list, ctx: PassContext) -> int:
+        gate_index = gate_indices_by_ion(ops)
+        by_ion: dict[int, list[Excursion]] = {}
+        for trip in extract_excursions(ops):
+            by_ion.setdefault(trip.ion, []).append(trip)
+
+        deleted: set[int] = set()
+        insertions: dict[int, list[MachineOp]] = {}
+        touched: set[int] = set()  # split indices of consumed trips
+        accepted = 0
+
+        for ion, trips in sorted(by_ion.items()):
+            for first, second in zip(trips, trips[1:]):
+                if (
+                    first.split_index in touched
+                    or second.split_index in touched
+                ):
+                    continue
+                if has_gate_on_ion_between(
+                    gate_index, ion, first.merge_index, second.split_index
+                ):
+                    continue
+                if self._blocked_by_swaps(
+                    ops, ion, first.merge_index, second.split_index, second
+                ):
+                    continue
+                if self._fuse(
+                    ops, ctx, deleted, insertions, first, second
+                ):
+                    touched.add(first.split_index)
+                    touched.add(second.split_index)
+                    accepted += 1
+
+        if deleted or insertions:
+            ops[:] = rebuild(ops, deleted, insertions).ops
+        return accepted
+
+    @staticmethod
+    def _blocked_by_swaps(
+        ops: list,
+        ion: int,
+        merge_index: int,
+        split_index: int,
+        second: Excursion,
+    ) -> bool:
+        """True when the parked ion took part in an in-chain swap that
+        is *not* the second leg's own exit repositioning — deleting the
+        park would strand that swap."""
+        prep = set(second.prep_swap_indices)
+        for index in range(merge_index + 1, split_index):
+            op = ops[index]
+            if (
+                isinstance(op, SwapOp)
+                and ion in (op.ion_a, op.ion_b)
+                and index not in prep
+            ):
+                return True
+        return False
+
+    def _fuse(
+        self,
+        ops: list,
+        ctx: PassContext,
+        deleted: set[int],
+        insertions: dict[int, list[MachineOp]],
+        first: Excursion,
+        second: Excursion,
+    ) -> bool:
+        """Try shortened-route fusion, then plain fusion; first legal
+        candidate wins.  Mutates ``deleted``/``insertions`` on success."""
+        machine = ctx.machine
+        origin, destination = first.start_trap, second.end_trap
+        total_moves = first.num_moves + second.num_moves
+        chain_order_free = (
+            ops[first.merge_index].position is None
+            and ops[second.merge_index].position is None
+            and not first.prep_swap_indices
+            and not second.prep_swap_indices
+        )
+
+        if (
+            chain_order_free
+            and machine.topology.distance(origin, destination) < total_moves
+        ):
+            replacement = self._route_ops(
+                machine, first.ion, origin, destination,
+                ops[second.split_index].reason,
+                ops[second.merge_index].reason,
+            )
+            span = set(first.op_indices()) | set(second.op_indices())
+            for anchor in (second.merge_index, first.split_index):
+                trial_deleted = deleted | span
+                trial_insertions = dict(insertions)
+                trial_insertions[anchor] = replacement
+                if is_legal(
+                    machine,
+                    rebuild(ops, trial_deleted, trial_insertions),
+                    ctx.initial_chains,
+                ):
+                    deleted |= span
+                    insertions[anchor] = replacement
+                    return True
+
+        # Plain fusion: drop the merge, the re-split and the re-split's
+        # exit repositioning; the ion passes through in transit.
+        span = {first.merge_index, second.split_index}
+        span.update(second.prep_swap_indices)
+        trial_deleted = deleted | span
+        if is_legal(
+            machine,
+            rebuild(ops, trial_deleted, insertions),
+            ctx.initial_chains,
+        ):
+            deleted |= span
+            return True
+        return False
+
+    @staticmethod
+    def _route_ops(
+        machine,
+        ion: int,
+        origin: int,
+        destination: int,
+        split_reason,
+        merge_reason,
+    ) -> list[MachineOp]:
+        """A fresh shortest-path journey ``origin -> destination``.
+
+        Empty when they coincide (the fused trip degenerates to a full
+        round trip — pure deletion, same as elision would do).
+        """
+        if origin == destination:
+            return []
+        path = machine.topology.shortest_path(origin, destination)
+        journey: list[MachineOp] = [
+            SplitOp(ion=ion, trap=origin, reason=split_reason)
+        ]
+        journey.extend(
+            MoveOp(ion=ion, src=a, dst=b, reason=merge_reason)
+            for a, b in zip(path, path[1:])
+        )
+        journey.append(
+            MergeOp(ion=ion, trap=destination, reason=merge_reason)
+        )
+        return journey

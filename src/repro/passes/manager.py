@@ -1,0 +1,236 @@
+"""The pass manager: composable, verified schedule optimization.
+
+:class:`PassManager` applies a pipeline of
+:class:`~repro.passes.base.SchedulePass` rewrites to a compiled
+schedule.  Safety is non-negotiable:
+
+* the input schedule is verified before any pass runs (garbage in is
+  reported, not "optimized"),
+* after every pass that rewrote anything, the output is re-verified for
+  machine legality *and* circuit equivalence against the original
+  schedule — a pass emitting an unverifiable stream is a bug and raises
+  :class:`PassError`; the manager never returns an unverified schedule,
+* a pass that *increased* the shuttle count is discarded (defense in
+  depth — no shipped pass can, by construction),
+* with ``fidelity_guard`` enabled, each pass's output is additionally
+  simulated and the pass is rolled back when program fidelity dropped —
+  heat-redistributing rewrites are kept only when they pay.
+
+The result records a per-pass stats delta so reports can attribute
+savings to individual rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.machine import QCCDMachine
+from ..sim.params import DEFAULT_PARAMS, MachineParams
+from ..sim.schedule import Schedule
+from .base import PassContext, SchedulePass
+from .registry import make_passes
+from .verify import verify_equivalent, verify_schedule
+
+#: Log-fidelity slack below which a guarded pass counts as "no worse".
+_LOG_FIDELITY_TOLERANCE = 1e-9
+
+
+class PassError(RuntimeError):
+    """Raised when a pass emits an illegal or non-equivalent schedule."""
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """What one pass did to the op stream."""
+
+    name: str
+    rewrites: int
+    shuttles_removed: int = 0
+    splits_removed: int = 0
+    merges_removed: int = 0
+    swaps_removed: int = 0
+    ops_removed: int = 0
+    #: True when the fidelity guard rolled the pass back (its rewrites
+    #: were legal but made the simulated program fidelity worse).
+    reverted: bool = False
+
+    @property
+    def effective(self) -> bool:
+        """True when the pass changed the shipped schedule."""
+        return self.rewrites > 0 and not self.reverted
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one pass-pipeline run."""
+
+    schedule: Schedule
+    raw_schedule: Schedule
+    passes: tuple[PassStats, ...] = ()
+    #: Per-trap chains after executing the optimized schedule (from the
+    #: verification replay; pass rewrites can change final chain order).
+    final_chains: dict[int, list[int]] | None = None
+
+    @property
+    def raw_num_shuttles(self) -> int:
+        return self.raw_schedule.num_shuttles
+
+    @property
+    def num_shuttles(self) -> int:
+        return self.schedule.num_shuttles
+
+    @property
+    def shuttles_removed(self) -> int:
+        return self.raw_num_shuttles - self.num_shuttles
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(s.rewrites for s in self.passes if not s.reverted)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        applied = [s.name for s in self.passes if s.effective]
+        return (
+            f"{self.raw_num_shuttles} -> {self.num_shuttles} shuttles "
+            f"({self.shuttles_removed} removed, "
+            f"{self.total_rewrites} rewrites via "
+            f"{', '.join(applied) if applied else 'no passes'})"
+        )
+
+
+class PassManager:
+    """Applies a verified pipeline of schedule-optimization passes.
+
+    Parameters
+    ----------
+    passes:
+        Pass names (see :mod:`repro.passes.registry`), pass instances,
+        or ``None`` for the default pipeline.
+    fidelity_guard:
+        Simulate each pass's output and roll the pass back when the
+        program fidelity regressed.  Costs one simulator run per
+        rewriting pass; recommended (and the compiler's default) since
+        heat-redistributing rewrites are not universally profitable.
+    params:
+        Timing/noise parameters used by the fidelity guard.
+    """
+
+    def __init__(
+        self,
+        passes: object = None,
+        fidelity_guard: bool = True,
+        params: MachineParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.passes: list[SchedulePass] = make_passes(passes)
+        self.fidelity_guard = fidelity_guard
+        self.params = params
+
+    def run(
+        self,
+        schedule: Schedule,
+        machine: QCCDMachine,
+        initial_chains: dict[int, list[int]],
+    ) -> OptimizationResult:
+        """Optimize ``schedule``; never returns an unverified stream."""
+        final_chains = verify_schedule(machine, schedule, initial_chains)
+        ctx = PassContext(machine=machine, initial_chains=initial_chains)
+
+        current = schedule
+        # Computed lazily on the first rewriting pass: a pipeline of
+        # no-ops (common on uncongested machines) pays no simulation.
+        current_log_fidelity: float | None = None
+        stats: list[PassStats] = []
+
+        for schedule_pass in self.passes:
+            candidate, rewrites = schedule_pass.run(current, ctx)
+            if rewrites == 0:
+                stats.append(PassStats(schedule_pass.name, 0))
+                continue
+
+            try:
+                candidate_chains = verify_schedule(
+                    machine, candidate, initial_chains
+                )
+                verify_equivalent(schedule, candidate)
+            except Exception as exc:
+                raise PassError(
+                    f"pass {schedule_pass.name!r} produced an invalid "
+                    f"schedule: {exc}"
+                ) from exc
+
+            reverted = False
+            if candidate.num_shuttles > current.num_shuttles:
+                reverted = True  # defense in depth; see module docstring
+            elif self.fidelity_guard:
+                if current_log_fidelity is None:
+                    current_log_fidelity = self._log_fidelity(
+                        machine, current, initial_chains
+                    )
+                candidate_log_fidelity = self._log_fidelity(
+                    machine, candidate, initial_chains
+                )
+                if (
+                    candidate_log_fidelity
+                    < current_log_fidelity - _LOG_FIDELITY_TOLERANCE
+                ):
+                    reverted = True
+                else:
+                    current_log_fidelity = candidate_log_fidelity
+
+            stats.append(
+                PassStats(
+                    name=schedule_pass.name,
+                    rewrites=rewrites,
+                    shuttles_removed=(
+                        current.num_shuttles - candidate.num_shuttles
+                    ),
+                    splits_removed=(
+                        current.num_splits - candidate.num_splits
+                    ),
+                    merges_removed=(
+                        current.num_merges - candidate.num_merges
+                    ),
+                    swaps_removed=(
+                        current.num_swaps - candidate.num_swaps
+                    ),
+                    ops_removed=len(current) - len(candidate),
+                    reverted=reverted,
+                )
+            )
+            if not reverted:
+                current = candidate
+                final_chains = candidate_chains
+
+        return OptimizationResult(
+            schedule=current,
+            raw_schedule=schedule,
+            passes=tuple(stats),
+            final_chains=final_chains,
+        )
+
+    def _log_fidelity(
+        self,
+        machine: QCCDMachine,
+        schedule: Schedule,
+        initial_chains: dict[int, list[int]],
+    ) -> float:
+        from ..sim.simulator import Simulator
+
+        report = Simulator(machine, self.params).run(
+            schedule, {t: list(c) for t, c in initial_chains.items()}
+        )
+        return report.program_log_fidelity
+
+
+def optimize_schedule(
+    schedule: Schedule,
+    machine: QCCDMachine,
+    initial_chains: dict[int, list[int]],
+    passes: object = None,
+    fidelity_guard: bool = True,
+    params: MachineParams = DEFAULT_PARAMS,
+) -> OptimizationResult:
+    """One-shot convenience wrapper around :class:`PassManager`."""
+    return PassManager(passes, fidelity_guard, params).run(
+        schedule, machine, initial_chains
+    )

@@ -47,6 +47,15 @@ class Schedule:
             return NotImplemented
         return self._ops == other._ops
 
+    def __hash__(self) -> int:
+        """Content hash consistent with ``__eq__`` (all ops are frozen
+        dataclasses).  Defining ``__eq__`` alone would set ``__hash__``
+        to None and silently make schedules unusable as dict/set keys —
+        which result caches and memo tables rely on.  The hash of a
+        mutable container is only stable while it is not mutated; hash,
+        then stop appending."""
+        return hash(tuple(self._ops))
+
     # ------------------------------------------------------------------
     # Statistics (the quantities the paper reports)
     # ------------------------------------------------------------------

@@ -1,6 +1,11 @@
 """Text-based visualisation helpers (no plotting dependencies)."""
 
-from .timeline import gate_trap_histogram, schedule_summary, shuttle_trace
+from .timeline import (
+    gate_trap_histogram,
+    schedule_summary,
+    shuttle_trace,
+    timeline_diff,
+)
 from .trapview import render_chains, render_occupancy_bar, render_topology
 
 __all__ = [
@@ -10,4 +15,5 @@ __all__ = [
     "render_topology",
     "schedule_summary",
     "shuttle_trace",
+    "timeline_diff",
 ]

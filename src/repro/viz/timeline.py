@@ -1,8 +1,11 @@
-"""Textual schedule inspection: shuttle traces and op summaries."""
+"""Textual schedule inspection: shuttle traces, op summaries and
+before/after optimization diffs."""
 
 from __future__ import annotations
 
-from ..sim.ops import GateOp, MergeOp, MoveOp, SplitOp
+from difflib import SequenceMatcher
+
+from ..sim.ops import GateOp, MergeOp, MoveOp, SplitOp, SwapOp
 from ..sim.schedule import Schedule
 
 
@@ -36,6 +39,64 @@ def schedule_summary(schedule: Schedule) -> str:
         f"merges={kinds.get('merge', 0)} "
         f"shuttle/gate={ratio:.3f}"
     )
+
+
+def _op_line(op) -> str:
+    """One human-readable line per machine op (diff rendering)."""
+    if isinstance(op, GateOp):
+        return f"gate  {op.gate} in T{op.trap}"
+    if isinstance(op, SplitOp):
+        return f"split ion {op.ion} from T{op.trap} [{op.reason.value}]"
+    if isinstance(op, MoveOp):
+        return (
+            f"move  ion {op.ion}: T{op.src} -> T{op.dst} "
+            f"[{op.reason.value}]"
+        )
+    if isinstance(op, MergeOp):
+        return f"merge ion {op.ion} into T{op.trap} [{op.reason.value}]"
+    if isinstance(op, SwapOp):
+        return f"swap  ions {op.ion_a}<->{op.ion_b} in T{op.trap}"
+    return repr(op)  # pragma: no cover - exhaustive over MachineOp
+
+
+def timeline_diff(
+    before: Schedule,
+    after: Schedule,
+    limit: int | None = None,
+    context: int = 1,
+) -> str:
+    """Render a before/after timeline diff of an optimized schedule.
+
+    Ops deleted by the passes are *ghosted* with a ``~`` prefix, ops the
+    passes introduced (e.g. a shortened re-route) carry ``+``, and
+    unchanged ops keep a plain margin.  Long unchanged stretches are
+    folded to ``context`` ops on each side.  ``limit`` caps the total
+    line count (a trailing ``...`` marks truncation).
+    """
+    a_ops, b_ops = list(before.ops), list(after.ops)
+    matcher = SequenceMatcher(None, a_ops, b_ops, autojunk=False)
+    lines: list[str] = []
+    for tag, a_lo, a_hi, b_lo, b_hi in matcher.get_opcodes():
+        if tag == "equal":
+            block = a_ops[a_lo:a_hi]
+            if len(block) > 2 * context + 1:
+                lines.extend(f"  {_op_line(op)}" for op in block[:context])
+                lines.append(
+                    f"  ... {len(block) - 2 * context} unchanged ops ..."
+                )
+                lines.extend(
+                    f"  {_op_line(op)}" for op in block[-context:]
+                )
+            else:
+                lines.extend(f"  {_op_line(op)}" for op in block)
+        else:  # replace / delete / insert
+            lines.extend(f"~ {_op_line(op)}" for op in a_ops[a_lo:a_hi])
+            lines.extend(f"+ {_op_line(op)}" for op in b_ops[b_lo:b_hi])
+        if limit is not None and len(lines) >= limit:
+            return "\n".join(lines[:limit] + ["..."])
+    if not lines:
+        return "(both schedules empty)"
+    return "\n".join(lines)
 
 
 def gate_trap_histogram(schedule: Schedule) -> dict[int, int]:

@@ -111,7 +111,7 @@ class TestFingerprint:
         # of it (or other run-dependent state) in the canonical
         # encoding would break this test across interpreter runs.
         assert golden_job().fingerprint() == (
-            "b2e8e56a201a0da9b429fa28c58957277307bb0da3e347ca8ac38fbf79cf6b26"
+            "cbcae31116a02ac2e85c3618b88bdcb5de1e2d97473006bf7bb7c66c6f66440a"
         )
 
     def test_circuit_content_changes_fingerprint(self):

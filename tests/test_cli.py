@@ -70,6 +70,47 @@ class TestExecution:
         with pytest.raises(SystemExit):
             main(["compile", "frobnicate"])
 
+    def test_info_lists_passes(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "post-compilation passes" in out
+        for name in (
+            "elide-roundtrips",
+            "fuse-merge-split",
+            "reroute",
+            "tighten-gates",
+        ):
+            assert name in out
+
+
+class TestOptimizeCommand:
+    def test_optimize_random_small(self, capsys):
+        code = main(
+            ["optimize", "random:12:40:2", "--machine", "linear3",
+             "--diff", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elide-roundtrips" in out
+        assert "raw shuttles" in out and "opt shuttles" in out
+        assert "shuttles" in out
+
+    def test_optimize_pass_subset(self, capsys):
+        code = main(
+            ["optimize", "random:12:40:2", "--machine", "linear3",
+             "--passes", "tighten-gates", "--no-guard"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tighten-gates" in out
+        assert "elide-roundtrips" not in out
+
+    def test_optimize_unknown_pass(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["optimize", "random:12:40:2", "--passes", "frobnicate"]
+            )
+
 
 class TestSweepCommand:
     def test_dry_run_compiles_nothing(self, capsys):
@@ -124,3 +165,19 @@ class TestSweepCommand:
         # the 64-qubit default circuit.
         with pytest.raises(SystemExit):
             main(["sweep", "--benchmarks", "random10", "--dry-run"])
+
+    def test_sweep_with_passes(self, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "random:10:30:1", "--machines",
+             "linear3", "--configs", "optimized", "--no-cache",
+             "--passes", "default"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "this-work+passes" in out
+        assert "raw" in out and "removed" in out
+
+    def test_sweep_unknown_pass(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--benchmarks", "random:10:30:1",
+                  "--passes", "frobnicate", "--dry-run"])

@@ -1,0 +1,104 @@
+"""Property tests: every pass preserves legality and the gate multiset
+on randomized circuits across linear/ring/grid machines.
+
+A deterministic seed loop (hypothesis-style, but reproducible without
+shrinking) drives random circuits through the compiler, then through
+each pass individually and through the full default pipeline, checking
+the invariants the pass manager stakes its correctness on:
+
+* the rewritten schedule replays legally against the machine model,
+* the gate multiset and per-qubit gate order are unchanged,
+* shuttle counts never increase (and split/merge counts never increase
+  for the deleting passes),
+* the rewritten schedule still simulates (and, for the full pipeline
+  with the fidelity guard, simulates no worse).
+"""
+
+import random
+
+import pytest
+
+from repro.arch import (
+    grid_topology,
+    linear_topology,
+    ring_topology,
+    uniform_machine,
+)
+from repro.circuits.circuit import Circuit
+from repro.compiler import compile_circuit
+from repro.passes import (
+    PassContext,
+    PassManager,
+    make_passes,
+    verify_equivalent,
+    verify_schedule,
+)
+from repro.sim.simulator import Simulator
+
+MACHINES = [
+    uniform_machine(linear_topology(3), 4, 1),
+    uniform_machine(linear_topology(4), 3, 1),
+    uniform_machine(ring_topology(4), 3, 1),
+    uniform_machine(grid_topology(2, 3), 3, 1),
+]
+
+SEEDS = range(6)
+
+
+def random_case(machine, seed):
+    """A random circuit sized to the machine, compiled onto it."""
+    rng = random.Random(seed * 1000 + machine.num_traps)
+    num_qubits = min(machine.load_capacity, 8 + rng.randrange(4))
+    circuit = Circuit(num_qubits, name=f"prop-{seed}")
+    for _ in range(25 + rng.randrange(15)):
+        if rng.random() < 0.2:
+            circuit.add("h", rng.randrange(num_qubits))
+        else:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.add("ms", a, b)
+    return compile_circuit(circuit, machine)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_each_pass_preserves_invariants(machine, seed):
+    result = random_case(machine, seed)
+    ctx = PassContext(
+        machine=machine, initial_chains=result.initial_chains
+    )
+    for schedule_pass in make_passes(None):
+        out, rewrites = schedule_pass.run(result.schedule, ctx)
+        verify_schedule(machine, out, result.initial_chains)
+        verify_equivalent(result.schedule, out)
+        assert out.num_shuttles <= result.schedule.num_shuttles, (
+            schedule_pass.name
+        )
+        assert out.num_splits <= result.schedule.num_splits
+        assert out.num_merges <= result.schedule.num_merges
+        if rewrites == 0 and schedule_pass.name != "tighten-gates":
+            assert out == result.schedule
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_full_pipeline_never_regresses(machine, seed):
+    result = random_case(machine, seed)
+    optimization = PassManager().run(
+        result.schedule, machine, result.initial_chains
+    )
+    verify_schedule(
+        machine, optimization.schedule, result.initial_chains
+    )
+    verify_equivalent(result.schedule, optimization.schedule)
+    assert optimization.num_shuttles <= optimization.raw_num_shuttles
+
+    simulator = Simulator(machine)
+    before = simulator.run(result.schedule, result.initial_chains)
+    after = simulator.run(
+        optimization.schedule, result.initial_chains
+    )
+    assert (
+        after.program_log_fidelity
+        >= before.program_log_fidelity - 1e-9
+    )
+    assert after.num_gates == before.num_gates

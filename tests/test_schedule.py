@@ -64,3 +64,22 @@ class TestCounts:
     def test_repr(self):
         text = repr(mixed_schedule())
         assert "shuttles=2" in text
+
+
+class TestHashing:
+    def test_hash_consistent_with_eq(self):
+        # Regression: __eq__ without __hash__ silently made schedules
+        # unhashable; the content hash must match content equality.
+        a, b = mixed_schedule(), mixed_schedule()
+        assert a == b and a is not b
+        assert hash(a) == hash(b)
+
+    def test_schedules_work_as_dict_keys(self):
+        memo = {mixed_schedule(): "cached"}
+        assert memo[mixed_schedule()] == "cached"
+        assert Schedule() not in memo
+        assert len({mixed_schedule(), mixed_schedule(), Schedule()}) == 2
+
+    def test_hash_differs_for_different_content(self):
+        other = Schedule(mixed_schedule().ops[:-1])
+        assert hash(other) != hash(mixed_schedule())
