@@ -1,0 +1,122 @@
+"""Record the compile/optimize/simulate wall-time baseline.
+
+Times the three phases on the paper suite (reduced random ensemble,
+L6 machine) and writes ``benchmarks/baselines/BENCH_compile_baseline.json``
+(committed — it is the recorded pre-kernel reference).
+``bench_compile.py`` compares the current tree against this recording,
+so re-run this script only to re-baseline deliberately (e.g. on new
+hardware or after accepting a performance regression)::
+
+    PYTHONPATH=src python benchmarks/record_compile_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines"
+)
+BASELINE_PATH = os.path.join(BASELINE_DIR, "BENCH_compile_baseline.json")
+
+#: Repetitions per phase; the minimum is recorded (standard practice for
+#: wall-clock microbenchmarks — the minimum is the least noisy statistic).
+REPEATS = 3
+
+
+def time_suite() -> dict:
+    from repro.arch.presets import l6_machine
+    from repro.bench.suite import paper_suite
+    from repro.compiler.compiler import QCCDCompiler
+    from repro.compiler.config import CompilerConfig
+    from repro.compiler.mapping import greedy_initial_mapping
+    from repro.passes.manager import PassManager
+    from repro.sim.simulator import Simulator
+
+    machine = l6_machine()
+    simulator = Simulator(machine)
+    compiler = QCCDCompiler(machine, CompilerConfig.optimized())
+    rows = []
+
+    for circuit in paper_suite(full=False):
+        chains = greedy_initial_mapping(circuit, machine)
+
+        compile_s = min(
+            _timed(lambda: compiler.compile(circuit, initial_chains=chains))
+            for _ in range(REPEATS)
+        )
+        result = compiler.compile(circuit, initial_chains=chains)
+
+        optimize_s = min(
+            _timed(
+                lambda: PassManager().run(
+                    result.schedule, machine, result.initial_chains
+                )
+            )
+            for _ in range(REPEATS)
+        )
+        optimization = PassManager().run(
+            result.schedule, machine, result.initial_chains
+        )
+
+        simulate_s = min(
+            _timed(
+                lambda: simulator.run(
+                    optimization.schedule, result.initial_chains
+                )
+            )
+            for _ in range(REPEATS)
+        )
+
+        rows.append(
+            {
+                "circuit": circuit.name,
+                "num_ops": len(result.schedule),
+                "compile_seconds": round(compile_s, 4),
+                "optimize_seconds": round(optimize_s, 4),
+                "simulate_seconds": round(simulate_s, 4),
+            }
+        )
+        print(
+            f"{circuit.name}: compile {compile_s:.3f}s  "
+            f"optimize {optimize_s:.3f}s  simulate {simulate_s:.3f}s",
+            flush=True,
+        )
+
+    return {
+        "machine": machine.name,
+        "repeats": REPEATS,
+        "total_compile_seconds": round(
+            sum(r["compile_seconds"] for r in rows), 4
+        ),
+        "total_optimize_seconds": round(
+            sum(r["optimize_seconds"] for r in rows), 4
+        ),
+        "total_simulate_seconds": round(
+            sum(r["simulate_seconds"] for r in rows), 4
+        ),
+        "results": rows,
+    }
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    summary = time_suite()
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,13 @@ from .compiler import (
     compile_circuit,
     greedy_initial_mapping,
 )
+from .core import (
+    ClockObserver,
+    HeatingObserver,
+    MachineModelError,
+    MachineState,
+    OccupancyTraceObserver,
+)
 from .passes import (
     OptimizationResult,
     PassManager,
@@ -80,14 +87,19 @@ __version__ = "1.0.0"
 __all__ = [
     "BatchRunner",
     "Circuit",
+    "ClockObserver",
     "CompilationError",
     "CompilationResult",
     "CompileJob",
     "CompilerConfig",
     "DependencyDAG",
     "Gate",
+    "HeatingObserver",
     "JobResult",
+    "MachineModelError",
+    "MachineState",
     "NullCache",
+    "OccupancyTraceObserver",
     "ResultCache",
     "SweepRecord",
     "MachineParams",

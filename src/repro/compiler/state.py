@@ -3,14 +3,23 @@
 The compiler shadows the machine: which trap each ion occupies, how full
 every trap is.  This is the state both shuttle-direction policies and the
 re-balancing logic query (excess capacities, chain membership).
+
+Since the machine-semantics kernel landed, :class:`CompilerState` is a
+thin façade over :class:`repro.core.state.MachineState` — the same
+array-backed engine that executes schedules in the simulator and the
+verifier.  The façade preserves the historical query/mutation API (and
+its :class:`CompilationError` exception type) for the policies,
+re-ordering and re-balancing modules.
 """
 
 from __future__ import annotations
 
 from ..arch.machine import QCCDMachine
+from ..core.errors import MachineModelError
+from ..core.state import MachineState
 
 
-class CompilationError(RuntimeError):
+class CompilationError(MachineModelError):
     """Raised when a circuit cannot be compiled onto the machine."""
 
 
@@ -25,37 +34,35 @@ class CompilerState:
         Trap id -> ordered ion chain, as produced by the initial mapper.
     """
 
+    __slots__ = ("machine", "chains", "_state", "_lookup", "_capacities")
+
     def __init__(
         self, machine: QCCDMachine, initial_chains: dict[int, list[int]]
     ) -> None:
         self.machine = machine
-        self.chains: list[list[int]] = [
-            list(initial_chains.get(t, [])) for t in range(machine.num_traps)
-        ]
-        self._trap_of: dict[int, int] = {}
-        for trap_id, chain in enumerate(self.chains):
-            capacity = machine.trap(trap_id).capacity
-            if len(chain) > capacity:
-                raise CompilationError(
-                    f"initial chain of trap {trap_id} ({len(chain)} ions) "
-                    f"exceeds capacity {capacity}"
-                )
-            for ion in chain:
-                if ion in self._trap_of:
-                    raise CompilationError(
-                        f"ion {ion} mapped to multiple traps"
-                    )
-                self._trap_of[ion] = trap_id
+        try:
+            self._state = MachineState(machine, initial_chains)
+        except MachineModelError as exc:
+            raise CompilationError(str(exc)) from None
+        # The kernel mutates these containers in place (extend/append),
+        # never rebinds them, so caching the references is safe — and
+        # the shuttle policies hammer trap_of/excess_capacity hard
+        # enough that skipping two delegation frames is measurable.
+        self.chains = self._state.chains
+        self._lookup = self._state._trap_of
+        self._capacities = self._state.capacities
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def trap_of(self, ion: int) -> int:
         """Trap currently holding ``ion``."""
-        try:
-            return self._trap_of[ion]
-        except KeyError as exc:
-            raise CompilationError(f"ion {ion} is not mapped") from exc
+        lookup = self._lookup
+        if 0 <= ion < len(lookup):
+            trap = lookup[ion]
+            if trap >= 0:
+                return trap
+        raise CompilationError(f"ion {ion} is not mapped")
 
     def occupancy(self, trap: int) -> int:
         """Number of ions in a trap."""
@@ -63,11 +70,11 @@ class CompilerState:
 
     def excess_capacity(self, trap: int) -> int:
         """EC = total capacity - occupancy (the paper's key quantity)."""
-        return self.machine.trap(trap).capacity - len(self.chains[trap])
+        return self._capacities[trap] - len(self.chains[trap])
 
     def is_full(self, trap: int) -> bool:
         """True when the trap cannot accept another ion."""
-        return self.excess_capacity(trap) <= 0
+        return len(self.chains[trap]) >= self._capacities[trap]
 
     def chain(self, trap: int) -> list[int]:
         """Copy of the trap's ion chain."""
@@ -82,10 +89,10 @@ class CompilerState:
     # ------------------------------------------------------------------
     def detach_ion(self, ion: int) -> int:
         """Remove an ion from its chain (split); returns the source trap."""
-        trap = self.trap_of(ion)
-        self.chains[trap].remove(ion)
-        del self._trap_of[ion]
-        return trap
+        try:
+            return self._state.detach_ion(ion)
+        except MachineModelError as exc:
+            raise CompilationError(str(exc)) from None
 
     def attach_ion(self, ion: int, trap: int, position: int | None = None) -> None:
         """Attach an ion to a trap's chain (merge).
@@ -93,31 +100,19 @@ class CompilerState:
         ``position`` inserts at that chain index (0 = head); the default
         appends at the tail.
         """
-        if ion in self._trap_of:
-            raise CompilationError(
-                f"ion {ion} attached while still in trap {self._trap_of[ion]}"
-            )
-        if self.is_full(trap):
-            raise CompilationError(
-                f"ion {ion} attached to full trap {trap}"
-            )
-        if position is None:
-            self.chains[trap].append(ion)
-        else:
-            self.chains[trap].insert(position, ion)
-        self._trap_of[ion] = trap
+        try:
+            self._state.attach_ion(ion, trap, position)
+        except MachineModelError as exc:
+            raise CompilationError(str(exc)) from None
 
     def swap_adjacent(self, trap: int, index: int) -> tuple[int, int]:
         """Exchange the chain neighbours at ``index`` and ``index + 1``;
         returns the swapped ion pair."""
-        chain = self.chains[trap]
-        if not 0 <= index < len(chain) - 1:
-            raise CompilationError(
-                f"no adjacent pair at position {index} in trap {trap}"
-            )
-        chain[index], chain[index + 1] = chain[index + 1], chain[index]
-        return chain[index], chain[index + 1]
+        try:
+            return self._state.swap_adjacent(trap, index)
+        except MachineModelError as exc:
+            raise CompilationError(str(exc)) from None
 
     def snapshot_chains(self) -> dict[int, list[int]]:
         """Trap id -> chain copy (for simulator hand-off and reports)."""
-        return {t: list(chain) for t, chain in enumerate(self.chains)}
+        return self._state.chains_dict()

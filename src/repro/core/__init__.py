@@ -1,0 +1,51 @@
+"""Unified machine-semantics kernel (``repro.core``).
+
+One op-application engine under every layer that interprets machine
+ops.  Before this package, the machine's rules — ion placement, trap
+capacity, transit discipline, in-chain adjacency, shuttle connectivity
+— were independently re-implemented by the compiler's forward state,
+the simulator, the schedule verifier, and the pass framework's
+occupancy replay; every rule change had to be kept consistent by hand
+across four copies.  Now:
+
+* :class:`MachineState` holds the array-backed dynamic state and the
+  single legality-checked transition function :meth:`MachineState.apply`,
+* :func:`replay` / :func:`is_applicable` run the one replay loop with
+  pluggable observers,
+* :class:`ClockObserver` (per-trap timing/makespan),
+  :class:`HeatingObserver` (n̄ + fidelity accumulation) and
+  :class:`OccupancyTraceObserver` (timeline queries) reproduce, on top
+  of that loop, everything the layers derive from a schedule,
+* :class:`MachineModelError` roots the shared error hierarchy:
+  ``CompilationError``, ``SimulationError`` and ``VerificationError``
+  all subclass it.
+
+See DESIGN.md §6 for the architecture rationale.
+"""
+
+from .errors import MachineModelError
+from .observers import (
+    FIDELITY_FLOOR,
+    ClockObserver,
+    HeatingObserver,
+    OccupancyTraceObserver,
+    estimate_makespan,
+    occupancy_at,
+)
+from .replay import is_applicable, replay, replay_into
+from .state import NOWHERE, MachineState
+
+__all__ = [
+    "FIDELITY_FLOOR",
+    "ClockObserver",
+    "HeatingObserver",
+    "MachineModelError",
+    "MachineState",
+    "NOWHERE",
+    "OccupancyTraceObserver",
+    "estimate_makespan",
+    "is_applicable",
+    "occupancy_at",
+    "replay",
+    "replay_into",
+]

@@ -1,0 +1,119 @@
+"""Machine-level operations emitted by the compiler.
+
+A compiled program (a :class:`~repro.sim.schedule.Schedule`) is a stream
+of these primitives, matching the paper's Fig. 3:
+
+* :class:`GateOp` — a gate executed inside one trap,
+* :class:`SplitOp` — detach an ion from its chain in preparation to move,
+* :class:`MoveOp` — carry an ion across one shuttle-path edge
+  (**one MoveOp = one shuttle**, the unit counted in Table II),
+* :class:`MergeOp` — attach an ion to the destination chain.
+
+Every op knows why it was emitted (``reason``) so the evaluation harness
+can attribute shuttles to gate routing versus traffic-block re-balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..circuits.gate import Gate
+
+
+class ShuttleReason(Enum):
+    """Why a split/move/merge chain was emitted."""
+
+    GATE = "gate"  # bring two ions together for a 2-qubit gate
+    REBALANCE = "rebalance"  # evict an ion from a full trap (traffic block)
+    INITIAL = "initial"  # reserved for mapping-time placement (unused)
+
+
+@dataclass(frozen=True)
+class GateOp:
+    """A gate executed in trap ``trap``; both ions are co-located."""
+
+    gate: Gate
+    trap: int
+
+    @property
+    def kind(self) -> str:
+        """Op discriminator used by reports."""
+        return "gate"
+
+
+@dataclass(frozen=True)
+class SplitOp:
+    """Detach ``ion`` from the chain in ``trap``."""
+
+    ion: int
+    trap: int
+    reason: ShuttleReason = ShuttleReason.GATE
+
+    @property
+    def kind(self) -> str:
+        """Op discriminator used by reports."""
+        return "split"
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """Carry ``ion`` along the edge ``src -> dst``.
+
+    One MoveOp is one *shuttle* in the paper's accounting (Fig. 7 counts
+    a 4-edge route as 4 shuttles).
+    """
+
+    ion: int
+    src: int
+    dst: int
+    reason: ShuttleReason = ShuttleReason.GATE
+
+    @property
+    def kind(self) -> str:
+        """Op discriminator used by reports."""
+        return "move"
+
+
+@dataclass(frozen=True)
+class MergeOp:
+    """Attach ``ion`` to the chain in ``trap``.
+
+    ``position`` records where the ion lands in the chain: ``0`` for
+    the head (entry from the lower-id edge), ``None`` for the tail.
+    Only meaningful when chain order is being tracked.
+    """
+
+    ion: int
+    trap: int
+    reason: ShuttleReason = ShuttleReason.GATE
+    position: int | None = None
+
+    @property
+    def kind(self) -> str:
+        """Op discriminator used by reports."""
+        return "merge"
+
+
+@dataclass(frozen=True)
+class SwapOp:
+    """Physically exchange two *adjacent* ions within a chain.
+
+    Fig. 3 step (i): before an ion can split off, it must sit at the
+    chain end facing its exit edge; in-chain swaps reposition it.
+    Emitted only when the compiler runs with ``track_chain_order=True``.
+    """
+
+    ion_a: int
+    ion_b: int
+    trap: int
+    reason: ShuttleReason = ShuttleReason.GATE
+
+    @property
+    def kind(self) -> str:
+        """Op discriminator used by reports."""
+        return "swap"
+
+
+#: Union type of all machine ops.
+MachineOp = GateOp | SplitOp | MoveOp | MergeOp | SwapOp

@@ -1,0 +1,84 @@
+"""Kernel replay: apply a schedule op by op, notifying observers.
+
+This is the one replay loop under the simulator, the schedule
+verifier, and the pass manager's verify-and-revert fast path.  A full
+legality check costs one linear scan; attaching observers folds what
+used to be *additional* full replays (timing, heating/fidelity,
+occupancy tracing) into the same scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..arch.machine import QCCDMachine
+from .errors import MachineModelError
+from .state import MachineState
+
+
+def replay(
+    machine: QCCDMachine,
+    ops: Iterable,
+    initial_chains: dict[int, list[int]],
+    observers: tuple = (),
+    require_settled: bool = True,
+) -> MachineState:
+    """Replay ``ops`` from ``initial_chains``; returns the final state.
+
+    Raises :class:`~repro.core.errors.MachineModelError` on the first
+    illegal op, with the offending stream position prefixed as
+    ``"op {index}: ..."`` (initial-chain violations carry no prefix).
+    With ``require_settled`` (the default) a schedule that leaves ions
+    in transit is also rejected.
+
+    ``observers`` are notified *after* each op is applied; a rejected
+    op reaches no observer, so observer state is always consistent
+    with the machine state on error.
+    """
+    state = MachineState(machine, initial_chains)
+    replay_into(state, ops, observers)
+    if require_settled:
+        state.require_settled()
+    return state
+
+
+def replay_into(
+    state: MachineState, ops: Iterable, observers: tuple = ()
+) -> MachineState:
+    """Replay ``ops`` onto an existing state (no strandedness check)."""
+    apply = state.apply
+    position = -1
+    try:
+        if not observers:
+            for position, op in enumerate(ops):
+                apply(op)
+        elif len(observers) == 2:
+            # The simulator's clock+heating pair is the common case;
+            # unrolling skips an inner loop per op.
+            first, second = observers
+            first_observe, second_observe = first.observe, second.observe
+            for position, op in enumerate(ops):
+                apply(op)
+                first_observe(position, op, state)
+                second_observe(position, op, state)
+        else:
+            for position, op in enumerate(ops):
+                apply(op)
+                for observer in observers:
+                    observer.observe(position, op, state)
+    except MachineModelError as exc:
+        raise MachineModelError(f"op {position}: {exc}") from None
+    return state
+
+
+def is_applicable(
+    machine: QCCDMachine,
+    ops: Iterable,
+    initial_chains: dict[int, list[int]],
+) -> bool:
+    """Boolean form of :func:`replay` (the pass accept oracle)."""
+    try:
+        replay(machine, ops, initial_chains)
+    except MachineModelError:
+        return False
+    return True

@@ -14,9 +14,12 @@ pass needs:
   chains into :class:`Excursion` records (one per trip between traps),
 * :func:`gate_indices_by_ion` / :func:`has_gate_on_ion_between` — fast
   "did a gate touch this ion inside this window?" queries,
-* :func:`estimate_makespan` — a timing-only replay of the simulator's
-  clock model (gates serial per trap, moves synchronize endpoints) used
-  by passes that optimize duration rather than op counts.
+* :func:`occupancy_timeline` / :func:`occupancy_at` — trap-occupancy
+  queries over the stream, delegating to the kernel's
+  :class:`~repro.core.observers.OccupancyTraceObserver`,
+* :func:`estimate_makespan` — the kernel's timing-only clock replay
+  (gates serial per trap, moves synchronize endpoints) used by passes
+  that optimize duration rather than op counts.
 """
 
 from __future__ import annotations
@@ -27,6 +30,9 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from ..arch.machine import QCCDMachine
+from ..core.observers import OccupancyTraceObserver
+from ..core.observers import estimate_makespan as _kernel_makespan
+from ..core.observers import occupancy_at as _kernel_occupancy_at
 from ..sim.ops import GateOp, MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
 from ..sim.params import TimingParams
 from ..sim.schedule import Schedule
@@ -164,16 +170,11 @@ def occupancy_timeline(
 ) -> list[tuple[int, int, int]]:
     """Occupancy deltas as (stream index, trap, delta) events.
 
-    Transit ions occupy no trap (matching the simulator); only splits
-    and merges change occupancy.
+    Transit ions occupy no trap (matching the kernel); only splits and
+    merges change occupancy.  Delegates to the kernel's
+    :class:`~repro.core.observers.OccupancyTraceObserver`.
     """
-    events: list[tuple[int, int, int]] = []
-    for index, op in enumerate(ops):
-        if isinstance(op, SplitOp):
-            events.append((index, op.trap, -1))
-        elif isinstance(op, MergeOp):
-            events.append((index, op.trap, +1))
-    return events
+    return OccupancyTraceObserver.events_of(ops)
 
 
 def occupancy_at(
@@ -183,14 +184,11 @@ def occupancy_at(
     position: int,
 ) -> list[int]:
     """Per-trap ion counts just before stream index ``position``."""
-    occupancy = [
-        len(initial_chains.get(t, [])) for t in range(machine.num_traps)
-    ]
-    for index, trap, delta in events:
-        if index >= position:
-            break
-        occupancy[trap] += delta
-    return occupancy
+    return _kernel_occupancy_at(
+        events,
+        (len(initial_chains.get(t, [])) for t in range(machine.num_traps)),
+        position,
+    )
 
 
 def estimate_makespan(
@@ -198,30 +196,15 @@ def estimate_makespan(
     schedule: Schedule,
     timing: TimingParams | None = None,
 ) -> float:
-    """Makespan of a (legal) schedule under the simulator's clock model.
+    """Makespan of a (legal) schedule under the kernel's clock model.
 
     Gates and split/merge/swap ops advance their trap's clock; a move
     synchronizes both endpoint clocks then advances them together.
     Noise is irrelevant to timing, so this is a cheap scalar objective
-    for duration-oriented passes.
+    for duration-oriented passes.  Delegates to the kernel's
+    :class:`~repro.core.observers.ClockObserver` fast scan.
     """
-    if timing is None:
-        timing = TimingParams()
-    clocks = [0.0] * machine.num_traps
-    for op in schedule:
-        if isinstance(op, GateOp):
-            clocks[op.trap] += timing.gate_time(op.gate.num_qubits)
-        elif isinstance(op, SplitOp):
-            clocks[op.trap] += timing.split_time
-        elif isinstance(op, MergeOp):
-            clocks[op.trap] += timing.merge_time
-        elif isinstance(op, SwapOp):
-            clocks[op.trap] += timing.swap_time
-        elif isinstance(op, MoveOp):
-            start = max(clocks[op.src], clocks[op.dst])
-            clocks[op.src] = start + timing.move_time
-            clocks[op.dst] = start + timing.move_time
-    return max(clocks) if clocks else 0.0
+    return _kernel_makespan(machine.num_traps, schedule, timing)
 
 
 def rebuild(

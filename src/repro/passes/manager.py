@@ -13,8 +13,15 @@ schedule.  Safety is non-negotiable:
 * a pass that *increased* the shuttle count is discarded (defense in
   depth — no shipped pass can, by construction),
 * with ``fidelity_guard`` enabled, each pass's output is additionally
-  simulated and the pass is rolled back when program fidelity dropped —
-  heat-redistributing rewrites are kept only when they pay.
+  scored for program fidelity and the pass is rolled back when fidelity
+  dropped — heat-redistributing rewrites are kept only when they pay.
+
+The verify-and-revert loop runs on the kernel's shared-replay fast
+path: one :func:`repro.core.replay.replay` per candidate computes the
+legality verdict, the final chains *and* (with the guard enabled) the
+program log-fidelity via an attached
+:class:`~repro.core.observers.HeatingObserver` — where the pre-kernel
+manager replayed every candidate twice (verifier + simulator).
 
 The result records a per-pass stats delta so reports can attribute
 savings to individual rewrites.
@@ -25,11 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch.machine import QCCDMachine
+from ..core.errors import MachineModelError
+from ..core.observers import HeatingObserver
+from ..core.replay import replay
 from ..sim.params import DEFAULT_PARAMS, MachineParams
 from ..sim.schedule import Schedule
 from .base import PassContext, SchedulePass
 from .registry import make_passes
-from .verify import verify_equivalent, verify_schedule
+from .verify import VerificationError, verify_equivalent
 
 #: Log-fidelity slack below which a guarded pass counts as "no worse".
 _LOG_FIDELITY_TOLERANCE = 1e-9
@@ -107,10 +117,12 @@ class PassManager:
         Pass names (see :mod:`repro.passes.registry`), pass instances,
         or ``None`` for the default pipeline.
     fidelity_guard:
-        Simulate each pass's output and roll the pass back when the
-        program fidelity regressed.  Costs one simulator run per
-        rewriting pass; recommended (and the compiler's default) since
-        heat-redistributing rewrites are not universally profitable.
+        Score each pass's output for program fidelity and roll the
+        pass back when it regressed.  Piggybacks on the verification
+        replay (a heating observer on the same kernel scan), so the
+        guard costs no extra replay; recommended (and the compiler's
+        default) since heat-redistributing rewrites are not
+        universally profitable.
     params:
         Timing/noise parameters used by the fidelity guard.
     """
@@ -132,13 +144,14 @@ class PassManager:
         initial_chains: dict[int, list[int]],
     ) -> OptimizationResult:
         """Optimize ``schedule``; never returns an unverified stream."""
-        final_chains = verify_schedule(machine, schedule, initial_chains)
+        # Shared-replay fast path: legality, final chains and (when the
+        # guard is on) log-fidelity from a single kernel scan.
+        final_chains, current_log_fidelity = self._verified_replay(
+            machine, schedule, initial_chains
+        )
         ctx = PassContext(machine=machine, initial_chains=initial_chains)
 
         current = schedule
-        # Computed lazily on the first rewriting pass: a pipeline of
-        # no-ops (common on uncongested machines) pays no simulation.
-        current_log_fidelity: float | None = None
         stats: list[PassStats] = []
 
         for schedule_pass in self.passes:
@@ -148,8 +161,8 @@ class PassManager:
                 continue
 
             try:
-                candidate_chains = verify_schedule(
-                    machine, candidate, initial_chains
+                candidate_chains, candidate_log_fidelity = (
+                    self._verified_replay(machine, candidate, initial_chains)
                 )
                 verify_equivalent(schedule, candidate)
             except Exception as exc:
@@ -162,13 +175,6 @@ class PassManager:
             if candidate.num_shuttles > current.num_shuttles:
                 reverted = True  # defense in depth; see module docstring
             elif self.fidelity_guard:
-                if current_log_fidelity is None:
-                    current_log_fidelity = self._log_fidelity(
-                        machine, current, initial_chains
-                    )
-                candidate_log_fidelity = self._log_fidelity(
-                    machine, candidate, initial_chains
-                )
                 if (
                     candidate_log_fidelity
                     < current_log_fidelity - _LOG_FIDELITY_TOLERANCE
@@ -208,18 +214,33 @@ class PassManager:
             final_chains=final_chains,
         )
 
-    def _log_fidelity(
+    def _verified_replay(
         self,
         machine: QCCDMachine,
         schedule: Schedule,
         initial_chains: dict[int, list[int]],
-    ) -> float:
-        from ..sim.simulator import Simulator
+    ) -> tuple[dict[int, list[int]], float | None]:
+        """One kernel replay: (final chains, log-fidelity | None).
 
-        report = Simulator(machine, self.params).run(
-            schedule, {t: list(c) for t, c in initial_chains.items()}
+        Raises :class:`~repro.passes.verify.VerificationError` when the
+        schedule is illegal.  The fidelity term — identical, float for
+        float, to what :class:`~repro.sim.simulator.Simulator` reports
+        (same observer, same accumulation order) — is computed only
+        when the guard needs it.
+        """
+        observers: tuple = ()
+        heat = None
+        if self.fidelity_guard:
+            heat = HeatingObserver(machine.num_traps, self.params)
+            observers = (heat,)
+        try:
+            state = replay(machine, schedule, initial_chains, observers)
+        except MachineModelError as exc:
+            raise VerificationError(str(exc)) from None
+        return (
+            state.chains_dict(),
+            heat.log_fidelity if heat is not None else None,
         )
-        return report.program_log_fidelity
 
 
 def optimize_schedule(

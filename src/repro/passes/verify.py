@@ -2,13 +2,16 @@
 
 Every optimization pass rewrites the op stream; this module is the
 safety net that makes those rewrites trustworthy.  :func:`verify_schedule`
-replays a schedule op by op against the machine model — the same rules
-the simulator enforces (ion placement, trap capacity, transit discipline,
-in-chain adjacency) but without timing or noise, so a full legality check
-costs one linear scan.  :func:`verify_equivalent` then checks that an
-optimized schedule still executes the *same program*: the gate multiset
-is unchanged and every qubit sees its gates in the original order (which
-implies every dependency edge of the circuit DAG is respected).
+replays a schedule through the machine-semantics kernel
+(:mod:`repro.core`) — *the same engine* the simulator executes and the
+compiler's forward state mutates, so the rules (ion placement, trap
+capacity, transit discipline, in-chain adjacency) cannot drift between
+layers — but without timing or noise observers, so a full legality
+check costs one linear scan.  :func:`verify_equivalent` then checks
+that an optimized schedule still executes the *same program*: the gate
+multiset is unchanged and every qubit sees its gates in the original
+order (which implies every dependency edge of the circuit DAG is
+respected).
 
 The pass manager refuses to return any schedule that fails either check;
 individual passes also use :func:`is_legal` as the accept/revert oracle
@@ -20,11 +23,13 @@ from __future__ import annotations
 from collections import Counter
 
 from ..arch.machine import QCCDMachine
-from ..sim.ops import GateOp, MergeOp, MoveOp, SplitOp, SwapOp
+from ..core.errors import MachineModelError
+from ..core.replay import is_applicable, replay
+from ..sim.ops import GateOp
 from ..sim.schedule import Schedule
 
 
-class VerificationError(RuntimeError):
+class VerificationError(MachineModelError):
     """Raised when a schedule is illegal or not circuit-equivalent."""
 
 
@@ -36,7 +41,8 @@ def verify_schedule(
     """Replay ``schedule`` against the machine model; raise on the first
     illegal op.  Returns the final per-trap chains of the replay.
 
-    Checks (mirroring :class:`~repro.sim.simulator.Simulator`):
+    Checks (the kernel's rules, shared with
+    :class:`~repro.sim.simulator.Simulator`):
 
     * initial chains fit their traps and place each ion once,
     * gates execute only on co-located ions,
@@ -46,112 +52,11 @@ def verify_schedule(
     * swaps exchange *adjacent* chain members,
     * no ion is left in transit at the end.
     """
-    chains: list[list[int]] = []
-    placed: set[int] = set()
-    for spec in machine.traps:
-        chain = list(initial_chains.get(spec.trap_id, []))
-        if len(chain) > spec.capacity:
-            raise VerificationError(
-                f"initial chain of trap {spec.trap_id} exceeds capacity"
-            )
-        overlap = placed.intersection(chain)
-        if overlap:
-            raise VerificationError(
-                f"ions {sorted(overlap)} appear in multiple traps"
-            )
-        placed.update(chain)
-        chains.append(chain)
-
-    capacities = [spec.capacity for spec in machine.traps]
-    topology = machine.topology
-    transit: dict[int, int] = {}  # ion -> trap it is parked beside
-
-    for position, op in enumerate(schedule):
-        if isinstance(op, GateOp):
-            chain = chains[op.trap]
-            for qubit in op.gate.qubits:
-                if qubit not in chain:
-                    raise VerificationError(
-                        f"op {position}: gate {op.gate} in trap {op.trap} "
-                        f"but ion {qubit} is not there"
-                    )
-        elif isinstance(op, SplitOp):
-            if op.ion in transit:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} split while in transit"
-                )
-            if op.ion not in chains[op.trap]:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} split from trap "
-                    f"{op.trap} but it is not there"
-                )
-            chains[op.trap].remove(op.ion)
-            transit[op.ion] = op.trap
-        elif isinstance(op, MoveOp):
-            at = transit.get(op.ion)
-            if at is None:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} moved without a split"
-                )
-            if at != op.src:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} moved from trap "
-                    f"{op.src} but it is at trap {at}"
-                )
-            if op.dst not in topology.neighbors(op.src):
-                raise VerificationError(
-                    f"op {position}: no shuttle path {op.src} -> {op.dst}"
-                )
-            if len(chains[op.dst]) >= capacities[op.dst]:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} moved into full trap "
-                    f"{op.dst}"
-                )
-            transit[op.ion] = op.dst
-        elif isinstance(op, MergeOp):
-            at = transit.get(op.ion)
-            if at is None:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} merged without a split"
-                )
-            if at != op.trap:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} merged into trap "
-                    f"{op.trap} but it is at trap {at}"
-                )
-            if len(chains[op.trap]) >= capacities[op.trap]:
-                raise VerificationError(
-                    f"op {position}: ion {op.ion} merged into full trap "
-                    f"{op.trap}"
-                )
-            if op.position is None:
-                chains[op.trap].append(op.ion)
-            else:
-                chains[op.trap].insert(op.position, op.ion)
-            del transit[op.ion]
-        elif isinstance(op, SwapOp):
-            chain = chains[op.trap]
-            for ion in (op.ion_a, op.ion_b):
-                if ion not in chain:
-                    raise VerificationError(
-                        f"op {position}: swap of ion {ion} in trap "
-                        f"{op.trap} but it is not there"
-                    )
-            if abs(chain.index(op.ion_a) - chain.index(op.ion_b)) != 1:
-                raise VerificationError(
-                    f"op {position}: ions {op.ion_a} and {op.ion_b} "
-                    f"not adjacent in trap {op.trap}"
-                )
-            a, b = chain.index(op.ion_a), chain.index(op.ion_b)
-            chain[a], chain[b] = chain[b], chain[a]
-        else:
-            raise VerificationError(f"op {position}: unknown op {op!r}")
-
-    if transit:
-        raise VerificationError(
-            f"schedule ended with ions in transit: {sorted(transit)}"
-        )
-    return {trap: chain for trap, chain in enumerate(chains)}
+    try:
+        state = replay(machine, schedule, initial_chains)
+    except MachineModelError as exc:
+        raise VerificationError(str(exc)) from None
+    return state.chains_dict()
 
 
 def is_legal(
@@ -160,11 +65,7 @@ def is_legal(
     initial_chains: dict[int, list[int]],
 ) -> bool:
     """Boolean form of :func:`verify_schedule` (the pass accept oracle)."""
-    try:
-        verify_schedule(machine, schedule, initial_chains)
-    except VerificationError:
-        return False
-    return True
+    return is_applicable(machine, schedule, initial_chains)
 
 
 def gate_multiset(schedule: Schedule) -> Counter:

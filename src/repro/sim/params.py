@@ -1,113 +1,21 @@
-"""Timing and noise parameters of the QCCD machine model.
+"""Timing and noise parameters (compatibility re-export).
 
-The paper (Section II-B3) uses the analytic gate fidelity model of
-Murali et al. [7]:
-
-    F = 1 - Γ·τ - A·(2·n̄ + 1)
-
-where Γ is the trap heating rate, τ the gate duration, n̄ the motional
-mode (vibrational quanta) of the ion chain, and A a scaling factor that
-"varies as #qubits / log(#qubits)" with the chain length.  The paper
-deliberately omits the numeric constants ("embedded in the GitHub
-code-base [8]"); the values below are reconstructed from the public
-descriptions in [7] (ISCA 2020), Leung et al. [9] and Gutierrez et
-al. [10]:
-
-* two-qubit MS gate: 100 µs wall-clock (ISCA'20 baseline pulse),
-* one-qubit gate: 20 µs,
-* split and merge: 80 µs each,
-* move along one shuttle-path edge: 5 µs,
-* each move heats the ion in transit by ~0.1 motional quanta,
-* merges deposit the carried quanta into the destination chain plus a
-  fixed merge-heating overhead,
-* background anomalous heating while a chain idles/executes.
-
-Absolute fidelities therefore differ from the authors' calibration, but
-both compilers are evaluated under the *same* model, so the improvement
-ratios of Fig. 8 — the reported quantity — are comparable.  All values
-are dataclass fields so sensitivity studies can sweep them.
+The parameter dataclasses moved into the machine-semantics kernel
+(:mod:`repro.core.params`) so the kernel's observers can consume them
+without importing the simulator layer; this module keeps the
+historical import path ``repro.sim.params`` working.
 """
 
-from __future__ import annotations
+from ..core.params import (
+    DEFAULT_PARAMS,
+    MachineParams,
+    NoiseParams,
+    TimingParams,
+)
 
-import math
-from dataclasses import dataclass, field, replace
-
-
-@dataclass(frozen=True)
-class TimingParams:
-    """Operation durations in seconds."""
-
-    gate2q_time: float = 100e-6  # MS gate pulse
-    gate1q_time: float = 20e-6  # single-qubit rotation
-    split_time: float = 80e-6  # chain split
-    merge_time: float = 80e-6  # chain merge
-    move_time: float = 5e-6  # one edge traversal
-    swap_time: float = 80e-6  # in-chain ion swap (Fig. 3 step (i))
-
-    def gate_time(self, num_qubits: int) -> float:
-        """Duration of a gate of the given arity."""
-        return self.gate2q_time if num_qubits >= 2 else self.gate1q_time
-
-
-@dataclass(frozen=True)
-class NoiseParams:
-    """Heating and fidelity-model constants.
-
-    ``gate_infidelity_scale`` is the A0 in ``A = A0 * N / log2(N)``
-    (N = chain length, Section II-B3).  ``heating_rate`` is Γ in the
-    fidelity formula (quanta/s folded with the gate's motional
-    sensitivity, so Γ·τ is directly an infidelity).
-    """
-
-    heating_rate: float = 30.0  # Γ [1/s]: background infidelity rate
-    gate_infidelity_scale: float = 2e-5  # A0 in A = A0 * N / log2(N)
-    move_heating: float = 2.0  # quanta added to the ion per edge moved
-    split_heating: float = 2.0  # quanta added to the *source chain*
-    merge_heating: float = 6.0  # quanta added on merge beyond carried
-    carried_energy_fraction: float = 1.0  # share of transit quanta deposited
-    background_heating_rate: float = 50.0  # chain n̄ growth [quanta/s]
-    one_qubit_infidelity: float = 1e-5  # fixed 1q-gate error floor
-    # Sympathetic re-cooling (QCCD systems co-trap coolant ions;
-    # QCCDSim recools chains after shuttle primitives).  Modeled as an
-    # exponential relaxation of n̄ toward ``recool_floor`` applied after
-    # every gate in a trap, so shuttle-induced heat is transient and
-    # degrades the gates that *follow* a merge (Fig. 3's narrative)
-    # rather than accumulating without bound.
-    recool_enabled: bool = True
-    recool_decay: float = 0.95  # n̄ retention per executed gate
-    recool_floor: float = 0.0  # asymptotic n̄ after cooling
-    swap_heating: float = 0.3  # quanta added per in-chain swap
-
-    def chain_scale(self, chain_length: int) -> float:
-        """A = A0 * N / log2(N), guarded for N <= 2."""
-        n = max(chain_length, 2)
-        return self.gate_infidelity_scale * n / math.log2(n)
-
-    def gate_fidelity(
-        self, tau: float, nbar: float, chain_length: int
-    ) -> float:
-        """The paper's model: F = 1 - Γτ - A(2n̄+1), clamped to [0, 1]."""
-        a = self.chain_scale(chain_length)
-        fidelity = 1.0 - self.heating_rate * tau - a * (2.0 * nbar + 1.0)
-        return min(1.0, max(0.0, fidelity))
-
-
-@dataclass(frozen=True)
-class MachineParams:
-    """Bundle of timing and noise parameters."""
-
-    timing: TimingParams = field(default_factory=TimingParams)
-    noise: NoiseParams = field(default_factory=NoiseParams)
-
-    def with_noise(self, **kwargs) -> "MachineParams":
-        """Copy with noise fields overridden."""
-        return MachineParams(self.timing, replace(self.noise, **kwargs))
-
-    def with_timing(self, **kwargs) -> "MachineParams":
-        """Copy with timing fields overridden."""
-        return MachineParams(replace(self.timing, **kwargs), self.noise)
-
-
-#: Default parameter set used across the evaluation harness.
-DEFAULT_PARAMS = MachineParams()
+__all__ = [
+    "DEFAULT_PARAMS",
+    "MachineParams",
+    "NoiseParams",
+    "TimingParams",
+]

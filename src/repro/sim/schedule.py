@@ -4,6 +4,12 @@ The compiler's output: an ordered stream of machine ops plus summary
 statistics.  The schedule is the contract between compiler and
 simulator — the simulator validates it instruction by instruction, so a
 buggy compiler cannot silently produce an inexecutable program.
+
+Op-kind statistics (``num_shuttles`` et al.) are maintained
+incrementally: the first query counts the stream once, every later
+``append``/``extend`` updates the tally, so the compiler's router —
+which brackets each route with two ``num_shuttles`` reads — pays O(1)
+instead of re-scanning an ever-growing stream.
 """
 
 from __future__ import annotations
@@ -13,20 +19,59 @@ from collections.abc import Iterable, Iterator
 
 from .ops import GateOp, MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
 
+#: Exact-class -> kind discriminator (fallback: the op's own property).
+_KIND_OF = {
+    GateOp: "gate",
+    SplitOp: "split",
+    MoveOp: "move",
+    MergeOp: "merge",
+    SwapOp: "swap",
+}
+
 
 class Schedule:
     """Ordered machine-op stream produced by compilation."""
 
     def __init__(self, ops: Iterable[MachineOp] = ()) -> None:
         self._ops: list[MachineOp] = list(ops)
+        #: Lazy kind tally (None until first statistics query).
+        self._kind_counts: dict[str, int] | None = None
 
     def append(self, op: MachineOp) -> None:
         """Append one machine op."""
         self._ops.append(op)
+        counts = self._kind_counts
+        if counts is not None:
+            kind = _KIND_OF.get(type(op)) or op.kind
+            counts[kind] = counts.get(kind, 0) + 1
 
     def extend(self, ops: Iterable[MachineOp]) -> None:
         """Append several machine ops."""
-        self._ops.extend(ops)
+        if self._kind_counts is None:
+            self._ops.extend(ops)
+            return
+        for op in ops:
+            self.append(op)
+
+    def _counts(self) -> dict[str, int]:
+        """The kind tally, built on first use."""
+        counts = self._kind_counts
+        if counts is None:
+            counts = {}
+            kind_of = _KIND_OF
+            for cls, n in Counter(map(type, self._ops)).items():
+                kind = kind_of.get(cls)
+                if kind is None:  # subclassed op: fall back to .kind
+                    continue
+                counts[kind] = counts.get(kind, 0) + n
+            tallied = sum(counts.values())
+            if tallied != len(self._ops):
+                for op in self._ops:
+                    if type(op) not in kind_of:
+                        kind = op.kind
+                        counts[kind] = counts.get(kind, 0) + 1
+            self._kind_counts = counts
+        return counts
 
     @property
     def ops(self) -> tuple[MachineOp, ...]:
@@ -62,12 +107,12 @@ class Schedule:
     @property
     def num_shuttles(self) -> int:
         """Number of shuttles = number of MoveOps (Table II metric)."""
-        return sum(1 for op in self._ops if isinstance(op, MoveOp))
+        return self._counts().get("move", 0)
 
     @property
     def num_gates(self) -> int:
         """Number of executed gates."""
-        return sum(1 for op in self._ops if isinstance(op, GateOp))
+        return self._counts().get("gate", 0)
 
     @property
     def num_two_qubit_gates(self) -> int:
@@ -81,17 +126,17 @@ class Schedule:
     @property
     def num_splits(self) -> int:
         """Number of SplitOps."""
-        return sum(1 for op in self._ops if isinstance(op, SplitOp))
+        return self._counts().get("split", 0)
 
     @property
     def num_merges(self) -> int:
         """Number of MergeOps."""
-        return sum(1 for op in self._ops if isinstance(op, MergeOp))
+        return self._counts().get("merge", 0)
 
     @property
     def num_swaps(self) -> int:
         """Number of in-chain SwapOps (chain-order tracking only)."""
-        return sum(1 for op in self._ops if isinstance(op, SwapOp))
+        return self._counts().get("swap", 0)
 
     def shuttles_by_reason(self) -> Counter:
         """Shuttle counts attributed to gate routing vs re-balancing."""
@@ -110,7 +155,9 @@ class Schedule:
 
     def count_kinds(self) -> Counter:
         """Histogram over op kinds (gate/split/move/merge)."""
-        return Counter(op.kind for op in self._ops)
+        return Counter(
+            {kind: n for kind, n in self._counts().items() if n}
+        )
 
     def gate_ops(self) -> list[GateOp]:
         """All GateOps in order."""

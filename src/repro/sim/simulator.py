@@ -1,20 +1,28 @@
 """QCCD machine simulator.
 
-Replays a compiled :class:`~repro.sim.schedule.Schedule` against the
-machine model, validating every instruction (a malformed schedule raises
-:class:`SimulationError` rather than producing garbage numbers) and
-tracking:
+Replays a compiled :class:`~repro.sim.schedule.Schedule` through the
+machine-semantics kernel (:mod:`repro.core`), validating every
+instruction (a malformed schedule raises :class:`SimulationError`
+rather than producing garbage numbers) and tracking, via the kernel's
+observers:
 
-* per-trap ion chains (occupancy limits enforced op by op),
+* per-trap ion chains (occupancy limits enforced op by op by
+  :class:`~repro.core.state.MachineState`),
 * per-chain motional mode ``n̄`` under the additive heating model of
   :class:`~repro.sim.params.NoiseParams` (Fig. 3's qualitative behaviour:
   splits heat the source chain, moves heat the ion in transit, merges
   deposit that transit energy plus a fixed overhead into the destination
-  chain — total system heat is the sum of per-op contributions),
+  chain — total system heat is the sum of per-op contributions) —
+  :class:`~repro.core.observers.HeatingObserver`,
 * per-trap clocks — gates are serial within a trap and parallel across
-  traps (Section II-B1), moves synchronize the two endpoint traps,
+  traps (Section II-B1), moves synchronize the two endpoint traps —
+  :class:`~repro.core.observers.ClockObserver`,
 * per-gate fidelity under ``F = 1 - Γτ - A(2n̄+1)`` accumulated in log
   space into a program fidelity (Section II-B3).
+
+The legality rules live in the kernel, shared verbatim with the
+schedule verifier (:mod:`repro.passes.verify`) and the compiler's
+forward state — the three layers cannot drift apart.
 
 Model simplifications versus the authors' testbed are documented in
 DESIGN.md §4; both compilers are evaluated under the identical model so
@@ -27,16 +35,18 @@ import math
 from dataclasses import dataclass, field
 
 from ..arch.machine import QCCDMachine
-from .ops import GateOp, MergeOp, MoveOp, SplitOp, SwapOp
+from ..core.errors import MachineModelError
+from ..core.observers import FIDELITY_FLOOR, ClockObserver, HeatingObserver
+from ..core.replay import replay_into
+from ..core.state import MachineState
 from .params import DEFAULT_PARAMS, MachineParams
 from .schedule import Schedule
 
-#: Fidelity floor used when accumulating logs (a 0-fidelity gate would
-#: otherwise produce -inf and drown every other effect).
-_FIDELITY_FLOOR = 1e-12
+#: Backwards-compatible alias (the floor moved to the kernel observers).
+_FIDELITY_FLOOR = FIDELITY_FLOOR
 
 
-class SimulationError(RuntimeError):
+class SimulationError(MachineModelError):
     """Raised when a schedule is not executable on the machine."""
 
 
@@ -91,184 +101,49 @@ class Simulator:
         ``initial_chains`` maps trap id to the ordered ion chain produced
         by the initial mapping.
         """
-        state = _SimState(self.machine, initial_chains)
-        timing = self.params.timing
-        noise = self.params.noise
-
-        log_fidelity = 0.0
-        gate_fidelities: list[float] = []
-        nbar_samples: list[float] = []
-        max_nbar = 0.0
-        min_fidelity = 1.0
-
-        for position, op in enumerate(schedule):
-            try:
-                if isinstance(op, GateOp):
-                    trap = state.traps[op.trap]
-                    for qubit in op.gate.qubits:
-                        if qubit not in trap.chain_set:
-                            raise SimulationError(
-                                f"gate {op.gate} scheduled in trap {op.trap} "
-                                f"but ion {qubit} is not there"
-                            )
-                    tau = timing.gate_time(op.gate.num_qubits)
-                    if op.gate.is_two_qubit:
-                        fidelity = noise.gate_fidelity(
-                            tau, trap.nbar, len(trap.chain)
-                        )
-                        nbar_samples.append(trap.nbar)
-                    else:
-                        fidelity = 1.0 - noise.one_qubit_infidelity
-                    trap.clock += tau
-                    trap.nbar += noise.background_heating_rate * tau
-                    max_nbar = max(max_nbar, trap.nbar)
-                    if noise.recool_enabled and op.gate.is_two_qubit:
-                        # Sympathetic co-cooling relaxes the chain.
-                        trap.nbar = noise.recool_floor + (
-                            trap.nbar - noise.recool_floor
-                        ) * noise.recool_decay
-                    fidelity = max(fidelity, _FIDELITY_FLOOR)
-                    min_fidelity = min(min_fidelity, fidelity)
-                    log_fidelity += math.log(fidelity)
-                    gate_fidelities.append(fidelity)
-
-                elif isinstance(op, SplitOp):
-                    trap = state.traps[op.trap]
-                    if op.ion in state.transit:
-                        raise SimulationError(
-                            f"ion {op.ion} split while already in transit"
-                        )
-                    if op.ion not in trap.chain_set:
-                        raise SimulationError(
-                            f"ion {op.ion} split from trap {op.trap} "
-                            f"but it is not there"
-                        )
-                    trap.remove(op.ion)
-                    trap.clock += timing.split_time
-                    trap.nbar += noise.split_heating
-                    max_nbar = max(max_nbar, trap.nbar)
-                    state.transit[op.ion] = _Transit(op.trap, 0.0)
-
-                elif isinstance(op, MoveOp):
-                    transit = state.transit.get(op.ion)
-                    if transit is None:
-                        raise SimulationError(
-                            f"ion {op.ion} moved without a preceding split"
-                        )
-                    if transit.trap != op.src:
-                        raise SimulationError(
-                            f"ion {op.ion} moved from trap {op.src} but it "
-                            f"is at trap {transit.trap}"
-                        )
-                    if op.dst not in set(
-                        self.machine.topology.neighbors(op.src)
-                    ):
-                        raise SimulationError(
-                            f"no shuttle path between traps {op.src} and "
-                            f"{op.dst}"
-                        )
-                    dst_trap = state.traps[op.dst]
-                    if dst_trap.excess_capacity <= 0:
-                        raise SimulationError(
-                            f"ion {op.ion} moved into full trap {op.dst} "
-                            f"(traffic block not resolved)"
-                        )
-                    src_trap = state.traps[op.src]
-                    start = max(src_trap.clock, dst_trap.clock)
-                    src_trap.clock = start + timing.move_time
-                    dst_trap.clock = start + timing.move_time
-                    transit.trap = op.dst
-                    transit.energy += noise.move_heating
-
-                elif isinstance(op, MergeOp):
-                    transit = state.transit.get(op.ion)
-                    if transit is None:
-                        raise SimulationError(
-                            f"ion {op.ion} merged without a preceding split"
-                        )
-                    if transit.trap != op.trap:
-                        raise SimulationError(
-                            f"ion {op.ion} merged into trap {op.trap} but it "
-                            f"is at trap {transit.trap}"
-                        )
-                    trap = state.traps[op.trap]
-                    if trap.excess_capacity <= 0:
-                        raise SimulationError(
-                            f"ion {op.ion} merged into full trap {op.trap}"
-                        )
-                    # Additive heating model (QCCDSim behaviour, Fig. 3):
-                    # the merge deposits the ion's transit energy plus a
-                    # fixed merge overhead into the destination chain.
-                    carried = noise.carried_energy_fraction * transit.energy
-                    trap.nbar += carried + noise.merge_heating
-                    trap.add(op.ion, position=op.position)
-                    trap.clock += timing.merge_time
-                    max_nbar = max(max_nbar, trap.nbar)
-                    del state.transit[op.ion]
-
-                elif isinstance(op, SwapOp):
-                    trap = state.traps[op.trap]
-                    for ion in (op.ion_a, op.ion_b):
-                        if ion not in trap.chain_set:
-                            raise SimulationError(
-                                f"swap of ion {ion} in trap {op.trap} "
-                                f"but it is not there"
-                            )
-                    index_a = trap.chain.index(op.ion_a)
-                    index_b = trap.chain.index(op.ion_b)
-                    if abs(index_a - index_b) != 1:
-                        raise SimulationError(
-                            f"ions {op.ion_a} and {op.ion_b} are not "
-                            f"adjacent in trap {op.trap}"
-                        )
-                    trap.chain[index_a], trap.chain[index_b] = (
-                        trap.chain[index_b],
-                        trap.chain[index_a],
-                    )
-                    trap.clock += timing.swap_time
-                    trap.nbar += noise.swap_heating
-                    max_nbar = max(max_nbar, trap.nbar)
-
-                else:  # pragma: no cover - exhaustive over MachineOp
-                    raise SimulationError(f"unknown op {op!r}")
-            except SimulationError as exc:
-                raise SimulationError(f"op {position}: {exc}") from None
-
-        if state.transit:
-            stranded = sorted(state.transit)
-            raise SimulationError(
-                f"schedule ended with ions in transit: {stranded}"
-            )
+        clock = ClockObserver(self.machine.num_traps, self.params.timing)
+        heat = HeatingObserver(self.machine.num_traps, self.params)
+        try:
+            state = MachineState(self.machine, initial_chains)
+            replay_into(state, schedule, (clock, heat))
+            state.require_settled()
+        except MachineModelError as exc:
+            raise SimulationError(str(exc)) from None
 
         schedule_stats = schedule.count_kinds()
-        mean_nbar = (
-            sum(nbar_samples) / len(nbar_samples) if nbar_samples else 0.0
-        )
         return SimulationReport(
-            program_log_fidelity=log_fidelity,
-            duration=max(t.clock for t in state.traps),
+            program_log_fidelity=heat.log_fidelity,
+            duration=clock.makespan,
             num_gates=schedule_stats.get("gate", 0),
             num_two_qubit_gates=schedule.num_two_qubit_gates,
             num_shuttles=schedule_stats.get("move", 0),
             num_splits=schedule_stats.get("split", 0),
             num_merges=schedule_stats.get("merge", 0),
-            min_gate_fidelity=min_fidelity,
-            max_nbar=max_nbar,
-            mean_gate_nbar=mean_nbar,
-            gate_fidelities=gate_fidelities,
+            min_gate_fidelity=heat.min_gate_fidelity,
+            max_nbar=heat.max_nbar,
+            mean_gate_nbar=heat.mean_gate_nbar,
+            gate_fidelities=heat.gate_fidelities,
         )
 
 
 @dataclass
 class _Transit:
-    """An ion between split and merge: current trap and carried quanta."""
+    """An ion between split and merge: current trap and carried quanta.
+
+    Retained for callers that hand-replay op streams against
+    :class:`_SimState`; the simulator itself now tracks transit inside
+    the kernel (:class:`~repro.core.state.MachineState`)."""
 
     trap: int
     energy: float
 
 
 class _TrapRuntime:
-    """Mutable chain/nbar/clock state for one trap during simulation."""
+    """Mutable chain state for one trap (compatibility container).
+
+    The simulator no longer uses this internally — the kernel holds
+    the live state — but external replay harnesses (and older tests)
+    still build these via :class:`_SimState`."""
 
     def __init__(self, trap_id: int, capacity: int, chain: list[int]) -> None:
         self.trap_id = trap_id
@@ -295,24 +170,24 @@ class _TrapRuntime:
 
 
 class _SimState:
-    """Full machine state during simulation."""
+    """Full machine state snapshot (compatibility container).
+
+    Initial-chain validation delegates to the kernel; the mutable
+    per-trap containers remain for hand-rolled replays."""
 
     def __init__(
         self, machine: QCCDMachine, initial_chains: dict[int, list[int]]
     ) -> None:
-        self.traps: list[_TrapRuntime] = []
-        seen: set[int] = set()
-        for spec in machine.traps:
-            chain = list(initial_chains.get(spec.trap_id, []))
-            if len(chain) > spec.capacity:
-                raise SimulationError(
-                    f"initial chain of trap {spec.trap_id} exceeds capacity"
-                )
-            overlap = seen.intersection(chain)
-            if overlap:
-                raise SimulationError(
-                    f"ions {sorted(overlap)} appear in multiple traps"
-                )
-            seen.update(chain)
-            self.traps.append(_TrapRuntime(spec.trap_id, spec.capacity, chain))
+        try:
+            MachineState(machine, initial_chains)
+        except MachineModelError as exc:
+            raise SimulationError(str(exc)) from None
+        self.traps: list[_TrapRuntime] = [
+            _TrapRuntime(
+                spec.trap_id,
+                spec.capacity,
+                list(initial_chains.get(spec.trap_id, [])),
+            )
+            for spec in machine.traps
+        ]
         self.transit: dict[int, _Transit] = {}

@@ -1,0 +1,49 @@
+"""Record the machine-semantics golden fixture.
+
+Runs the paper suite (reduced random ensemble) through compile ->
+optimize -> simulate with both compiler configurations and writes the
+observable outcomes to ``tests/golden/machine_semantics.json``.  The
+golden test (``test_golden_semantics.py``) then pins every refactor of
+the op-application machinery to these exact outputs.
+
+Usage::
+
+    PYTHONPATH=src python tests/record_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_util import circuit_case  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "golden",
+    "machine_semantics.json",
+)
+
+
+def main() -> None:
+    from repro.arch.presets import l6_machine
+    from repro.bench.suite import paper_suite
+
+    machine = l6_machine()
+    cases = []
+    for circuit in paper_suite(full=False):
+        print(f"recording {circuit.name} ...", flush=True)
+        cases.append(circuit_case(circuit, machine))
+
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"machine": machine.name, "cases": cases}, handle, indent=1)
+    print(f"wrote {GOLDEN_PATH} ({len(cases)} cases)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Golden comparison: the kernel refactor is behavior-preserving.
+
+``tests/golden/machine_semantics.json`` was recorded on the paper
+suite (reduced random ensemble, L6 machine) *before* the machine
+semantics moved into ``repro.core`` — see ``tests/record_golden.py``.
+This test recompiles, re-optimizes and re-simulates every suite member
+and asserts the observable outcomes are identical:
+
+* the exact op stream of both compilers (content digest),
+* every ``SimulationReport`` field, floats compared by exact ``repr``
+  (the kernel observers accumulate in the same order as the old
+  monolithic simulator loop, so not even the last ulp may drift),
+* the pass pipeline's accept/revert decisions and per-pass deltas,
+* the final per-trap chains of every stream.
+
+If a deliberate semantic change ever invalidates this fixture,
+re-record it with ``PYTHONPATH=src python tests/record_golden.py`` and
+justify the diff in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from golden_util import circuit_case
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "golden",
+    "machine_semantics.json",
+)
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+GOLDEN = _load_golden()
+_CASES = {case["circuit"]: case for case in GOLDEN["cases"]}
+
+
+@pytest.fixture(scope="module")
+def machine():
+    from repro.arch.presets import l6_machine
+
+    return l6_machine()
+
+
+@pytest.fixture(scope="module")
+def suite():
+    from repro.bench.suite import paper_suite
+
+    return {circuit.name: circuit for circuit in paper_suite(full=False)}
+
+
+def test_golden_covers_current_suite(suite):
+    assert sorted(_CASES) == sorted(suite), (
+        "paper suite membership changed; re-record the golden fixture"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_case_matches_golden(name, suite, machine):
+    expected = _CASES[name]
+    actual = circuit_case(suite[name], machine)
+    # Compare field by field for a readable diff on failure.
+    for key in expected:
+        assert actual[key] == expected[key], (
+            f"{name}: {key} diverged from the pre-kernel recording"
+        )
