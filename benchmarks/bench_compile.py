@@ -1,20 +1,26 @@
-"""Compile/optimize/simulate wall-time benchmark vs the seed baseline.
+"""Compile/optimize/simulate wall-time benchmark vs the recorded baseline.
 
 Times the three phases of the full pipeline on the paper suite
 (reduced random ensemble, L6 machine) and compares against the
-pre-kernel recording in ``benchmarks/baselines/BENCH_compile_baseline.json``
-(captured by ``record_compile_baseline.py`` immediately before the
-``repro.core`` refactor landed).  Writes
-``benchmarks/_results/BENCH_compile.json`` with per-circuit times and
-per-phase speedup factors.
+committed recording in ``benchmarks/baselines/BENCH_compile_baseline.json``
+(captured by ``record_compile_baseline.py``).  Writes
+``benchmarks/_results/BENCH_compile.json`` with per-circuit times,
+per-phase speedups vs the baseline, and — when the baseline embeds a
+``previous`` recording it superseded — the speedups vs that too (the
+incremental-verification engine's optimize win is pinned against the
+full-replay-per-candidate recording it retired).
 
-Hard guarantees asserted here (the refactor's acceptance bar):
+Hard guarantees asserted here:
 
-* total compile -> optimize -> simulate wall time is no worse than the
-  recorded baseline (modest slack absorbs scheduler noise),
-* the replay-heavy optimize phase — the pass manager's verify-and-revert
-  loop, now on the kernel's shared-replay fast path — is strictly
-  faster than its baseline.
+* neither compile nor optimize regresses more than
+  :data:`NO_WORSE_SLACK` vs the baseline (the CI smoke job's >25%
+  regression gate; the ~0.1s simulate phase is too noise-dominated for
+  a per-phase wall-clock gate and is covered by the total instead),
+* total wall time is no worse than the baseline within the same slack,
+* on a host at least as fast as the recording one (established by the
+  total-time comparison), the optimize phase must hold the
+  :data:`MIN_OPTIMIZE_SPEEDUP` × win over the superseded ``previous``
+  recording — the checkpointed-replay speedup cannot silently erode.
 
 Run with ``pytest benchmarks/bench_compile.py``.
 """
@@ -37,8 +43,18 @@ REPEATS = 3
 
 #: Multiplicative slack on the "no worse" assertions: wall-clock
 #: comparisons against a recording from another process run need head
-#: room for CPU scheduling noise.
-NO_WORSE_SLACK = 1.25
+#: room for CPU scheduling noise.  The baseline is an absolute
+#: recording from one host — on substantially slower hardware (e.g.
+#: shared CI runners vs the recording workstation) widen the gate via
+#: ``REPRO_BENCH_SLACK`` instead of re-baselining, or re-record with
+#: ``record_compile_baseline.py`` on representative hardware.
+NO_WORSE_SLACK = float(os.environ.get("REPRO_BENCH_SLACK", "1.25"))
+
+#: Required optimize speedup over the baseline's ``previous`` recording
+#: (the pre-incremental-verification full-replay pass manager).
+MIN_OPTIMIZE_SPEEDUP = 3.0
+
+PHASES = ("compile", "optimize", "simulate")
 
 
 def _timed(thunk) -> float:
@@ -104,52 +120,72 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
 
     totals = {
         phase: round(sum(r[f"{phase}_seconds"] for r in rows), 4)
-        for phase in ("compile", "optimize", "simulate")
+        for phase in PHASES
     }
     base_totals = {
-        phase: baseline[f"total_{phase}_seconds"]
-        for phase in ("compile", "optimize", "simulate")
+        phase: baseline[f"total_{phase}_seconds"] for phase in PHASES
     }
     speedups = {
         phase: round(base_totals[phase] / totals[phase], 3)
-        for phase in ("compile", "optimize", "simulate")
+        for phase in PHASES
         if totals[phase]
     }
     total = sum(totals.values())
     base_total = sum(base_totals.values())
+
+    previous = baseline.get("previous")
+    previous_speedups = None
+    if previous:
+        previous_speedups = {
+            phase: round(
+                previous[f"total_{phase}_seconds"] / totals[phase], 3
+            )
+            for phase in PHASES
+            if totals[phase]
+        }
 
     summary = {
         "machine": machine.name,
         "repeats": REPEATS,
         "totals_seconds": totals,
         "baseline_totals_seconds": base_totals,
+        "baseline_label": baseline.get("label", "baseline"),
         "total_seconds": round(total, 4),
         "baseline_total_seconds": round(base_total, 4),
-        "kernel_speedup": speedups,
+        "speedup_vs_baseline": speedups,
         "total_speedup": round(base_total / total, 3) if total else None,
+        "previous_label": previous.get("label") if previous else None,
+        "speedup_vs_previous": previous_speedups,
         "results": rows,
     }
     write_result(
         results_dir, "BENCH_compile.json", json.dumps(summary, indent=2)
     )
 
-    # Acceptance: the kernel refactor must not slow the pipeline down,
-    # and the replay-heavy optimize phase must be strictly faster.
+    # Acceptance: neither compile nor optimize (nor the pipeline) may
+    # regress beyond the slack vs the committed baseline — this is the
+    # CI smoke job's >25% regression gate.
     assert total <= base_total * NO_WORSE_SLACK, (
         f"pipeline regressed: {total:.2f}s vs baseline {base_total:.2f}s"
     )
-    assert totals["optimize"] <= base_totals["optimize"] * NO_WORSE_SLACK, (
-        f"optimize phase regressed: {totals['optimize']:.2f}s vs "
-        f"baseline {base_totals['optimize']:.2f}s"
-    )
+    for phase in ("compile", "optimize"):
+        assert totals[phase] <= base_totals[phase] * NO_WORSE_SLACK, (
+            f"{phase} phase regressed: {totals[phase]:.2f}s vs "
+            f"baseline {base_totals[phase]:.2f}s"
+        )
     # The baseline is an absolute wall-clock recording from another
-    # machine, so the strict "optimize got faster" claim is only
-    # meaningful on a host at least as fast as the recording one —
-    # which the total-time comparison establishes.  (Slower hosts still
-    # get the slack-bounded regression gates above; re-baseline with
-    # record_compile_baseline.py to re-enable the strict check.)
-    if total <= base_total:
-        assert totals["optimize"] < base_totals["optimize"], (
-            f"optimize phase not faster: {totals['optimize']:.2f}s vs "
-            f"baseline {base_totals['optimize']:.2f}s"
+    # process run (possibly another machine), so the strict speedup
+    # claim is only meaningful on a host at least as fast as the
+    # recording one — which the total-time comparison establishes.
+    # (Slower hosts still get the slack-bounded regression gates above;
+    # re-baseline with record_compile_baseline.py when migrating
+    # hardware.)
+    if previous and total <= base_total:
+        assert (
+            previous_speedups["optimize"] >= MIN_OPTIMIZE_SPEEDUP
+        ), (
+            "optimize no longer holds the incremental-verification "
+            f"win: {previous_speedups['optimize']:.2f}x vs the "
+            f"required {MIN_OPTIMIZE_SPEEDUP:.1f}x over "
+            f"{previous.get('label', 'the superseded baseline')}"
         )

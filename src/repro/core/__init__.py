@@ -10,8 +10,15 @@ across four copies.  Now:
 
 * :class:`MachineState` holds the array-backed dynamic state and the
   single legality-checked transition function :meth:`MachineState.apply`,
+  plus cheap snapshotting (:meth:`MachineState.fork` /
+  :meth:`MachineState.checkpoint` / :meth:`MachineState.restore` and the
+  :class:`Checkpoint` type),
 * :func:`replay` / :func:`is_applicable` run the one replay loop with
   pluggable observers,
+* :class:`CheckpointedReplay` is the incremental layer: √N-spaced
+  checkpoints let any ``(start, end, replacement)`` splice of a
+  replayed schedule be re-verified in O(window) — the pass pipeline's
+  speculative-rewrite oracle (see DESIGN.md §7),
 * :class:`ClockObserver` (per-trap timing/makespan),
   :class:`HeatingObserver` (n̄ + fidelity accumulation) and
   :class:`OccupancyTraceObserver` (timeline queries) reproduce, on top
@@ -32,17 +39,26 @@ from .observers import (
     estimate_makespan,
     occupancy_at,
 )
-from .replay import is_applicable, replay, replay_into
-from .state import NOWHERE, MachineState
+from .replay import (
+    CheckpointedReplay,
+    SpliceVerdict,
+    is_applicable,
+    replay,
+    replay_into,
+)
+from .state import NOWHERE, Checkpoint, MachineState
 
 __all__ = [
     "FIDELITY_FLOOR",
+    "Checkpoint",
+    "CheckpointedReplay",
     "ClockObserver",
     "HeatingObserver",
     "MachineModelError",
     "MachineState",
     "NOWHERE",
     "OccupancyTraceObserver",
+    "SpliceVerdict",
     "estimate_makespan",
     "is_applicable",
     "occupancy_at",

@@ -56,6 +56,20 @@ class ClockObserver:
         """Maximum trap clock (schedule duration)."""
         return max(self.clocks) if self.clocks else 0.0
 
+    def snapshot(self) -> tuple:
+        """Opaque copy of the accumulated clocks (exact floats)."""
+        return tuple(self.clocks)
+
+    def resume(self, snapshot: tuple) -> "ClockObserver":
+        """Reset the clocks to a previously taken :meth:`snapshot`.
+
+        Restoring is exact (the snapshot holds the accumulated floats
+        verbatim), so driving the remaining ops after a resume yields
+        bit-identical clocks to one uninterrupted scan.
+        """
+        self.clocks = list(snapshot)
+        return self
+
     def observe(self, index: int, op, state) -> None:
         clocks = self.clocks
         timing = self.timing
@@ -160,6 +174,40 @@ class HeatingObserver:
             return 0.0
         return self._nbar_sum / self._nbar_count
 
+    def snapshot(self) -> tuple:
+        """Opaque copy of the accumulated heating state (exact floats,
+        including the per-gate fidelity list — a snapshot stays valid
+        no matter what the observer is driven over afterwards)."""
+        return (
+            tuple(self.nbar),
+            tuple(self.transit_energy.items()),
+            self.log_fidelity,
+            tuple(self.gate_fidelities),
+            self.max_nbar,
+            self.min_gate_fidelity,
+            self._nbar_sum,
+            self._nbar_count,
+        )
+
+    def resume(self, snapshot: tuple) -> "HeatingObserver":
+        """Reset to a previously taken :meth:`snapshot` (exact floats;
+        observing the remaining ops after a resume is bit-identical to
+        one uninterrupted scan)."""
+        (
+            nbar,
+            transit_energy,
+            self.log_fidelity,
+            gate_fidelities,
+            self.max_nbar,
+            self.min_gate_fidelity,
+            self._nbar_sum,
+            self._nbar_count,
+        ) = snapshot
+        self.nbar = list(nbar)
+        self.transit_energy = dict(transit_energy)
+        self.gate_fidelities = list(gate_fidelities)
+        return self
+
     def observe(self, index: int, op, state) -> None:
         noise = self.noise
         nbar = self.nbar
@@ -236,6 +284,16 @@ class OccupancyTraceObserver:
             self.events.append((index, op.trap, -1))
         elif cls is MergeOp or isinstance(op, MergeOp):
             self.events.append((index, op.trap, +1))
+
+    def snapshot(self) -> tuple:
+        """Opaque copy of the accumulated events (a snapshot stays
+        valid no matter what the observer is driven over afterwards)."""
+        return tuple(self.events)
+
+    def resume(self, snapshot: tuple) -> "OccupancyTraceObserver":
+        """Reset the event list to a previously taken :meth:`snapshot`."""
+        self.events = list(snapshot)
+        return self
 
     @staticmethod
     def events_of(ops) -> list[tuple[int, int, int]]:

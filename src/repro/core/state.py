@@ -36,6 +36,33 @@ from .ops import GateOp, MergeOp, MoveOp, SplitOp, SwapOp
 NOWHERE = -1
 
 
+class Checkpoint:
+    """Immutable snapshot of a :class:`MachineState`'s dynamic fields.
+
+    Only the array-backed mutable state is copied — chains, the flat
+    ``ion -> trap`` and transit arrays, and the transit counter; the
+    static machine description (capacities, edge set) is shared by
+    reference.  A checkpoint can be restored into any state over the
+    same machine any number of times (:meth:`MachineState.restore`
+    copies, never aliases), which is what the incremental verification
+    engine (:class:`~repro.core.replay.CheckpointedReplay`) relies on.
+    """
+
+    __slots__ = ("chains", "trap_of", "transit", "num_in_transit")
+
+    def __init__(
+        self,
+        chains: list[list[int]],
+        trap_of: list[int],
+        transit: list[int],
+        num_in_transit: int,
+    ) -> None:
+        self.chains = chains
+        self.trap_of = trap_of
+        self.transit = transit
+        self.num_in_transit = num_in_transit
+
+
 class MachineState:
     """Dynamic machine state: per-trap ion chains plus ions in transit.
 
@@ -168,6 +195,65 @@ class MachineState:
 
     # Alias kept for symmetry with the old CompilerState API.
     snapshot_chains = chains_dict
+
+    # ------------------------------------------------------------------
+    # Snapshotting (the incremental-verification fast path)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the dynamic state (array copies, O(ions + traps))."""
+        return Checkpoint(
+            [list(chain) for chain in self.chains],
+            list(self._trap_of),
+            list(self._transit),
+            self._num_in_transit,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> "MachineState":
+        """Reset the dynamic state to ``checkpoint`` (copying — the
+        checkpoint stays valid and can be restored again)."""
+        self.chains = [list(chain) for chain in checkpoint.chains]
+        self._trap_of = list(checkpoint.trap_of)
+        self._transit = list(checkpoint.transit)
+        self._num_in_transit = checkpoint.num_in_transit
+        return self
+
+    def fork(self) -> "MachineState":
+        """Independent copy sharing the static machine description.
+
+        The flat arrays and per-trap chains are copied (mutating the
+        fork never touches the original); ``machine``, ``capacities``
+        and the edge set are immutable during replay and shared.
+        """
+        twin = MachineState.__new__(MachineState)
+        twin.machine = self.machine
+        twin.capacities = self.capacities
+        twin._edges = self._edges
+        twin.chains = [list(chain) for chain in self.chains]
+        twin._trap_of = list(self._trap_of)
+        twin._transit = list(self._transit)
+        twin._num_in_transit = self._num_in_transit
+        return twin
+
+    def matches(self, other: "MachineState | Checkpoint") -> bool:
+        """True when the dynamic state is identical to ``other``'s.
+
+        ``other`` may be a live state or a :class:`Checkpoint`.  Chain
+        *order* counts (it is semantic: swap adjacency and merge
+        positions depend on it).  Comparing chains and the transit
+        array suffices — the ``ion -> trap`` array is determined by the
+        chains, and the transit counter by the transit array.
+        """
+        if isinstance(other, Checkpoint):
+            return (
+                self._num_in_transit == other.num_in_transit
+                and self.chains == other.chains
+                and self._transit == other.transit
+            )
+        return (
+            self._num_in_transit == other._num_in_transit
+            and self.chains == other.chains
+            and self._transit == other._transit
+        )
 
     # ------------------------------------------------------------------
     # Primitive mutations (the compiler's forward-state interface)

@@ -19,13 +19,19 @@ pass needs:
   :class:`~repro.core.observers.OccupancyTraceObserver`,
 * :func:`estimate_makespan` — the kernel's timing-only clock replay
   (gates serial per trap, moves synchronize endpoints) used by passes
-  that optimize duration rather than op counts.
+  that optimize duration rather than op counts,
+* :class:`SpliceEditor` — the bridge between a pass's speculative
+  edits (delete these indices, insert these ops) and the kernel's
+  incremental verification engine
+  (:class:`~repro.core.replay.CheckpointedReplay`): each candidate is
+  folded into one ``(start, end, replacement)`` splice and verified in
+  O(window) instead of a full O(schedule) replay per trial.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -33,6 +39,7 @@ from ..arch.machine import QCCDMachine
 from ..core.observers import OccupancyTraceObserver
 from ..core.observers import estimate_makespan as _kernel_makespan
 from ..core.observers import occupancy_at as _kernel_occupancy_at
+from ..core.replay import CheckpointedReplay
 from ..sim.ops import GateOp, MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
 from ..sim.params import TimingParams
 from ..sim.schedule import Schedule
@@ -207,6 +214,108 @@ def estimate_makespan(
     return _kernel_makespan(machine.num_traps, schedule, timing)
 
 
+class SpliceEditor:
+    """Verify-and-commit speculative edits through the splice engine.
+
+    Shuttle-rewriting passes enumerate candidates in *sweep-start*
+    coordinates — stream indices of the op list they analysed at the
+    top of a sweep — while accepted rewrites accumulate in the
+    engine's current stream.  The editor maps between the two index
+    spaces, folds each trial (a set of deleted indices plus optional
+    insertions) into a single contiguous ``(start, end, replacement)``
+    splice, asks the :class:`~repro.core.replay.CheckpointedReplay`
+    engine for the verdict a full legality replay would reach — in
+    O(window + √N) instead of O(schedule) — and commits accepted
+    edits so later trials verify against the up-to-date stream.
+
+    The candidate streams submitted to the engine are, by
+    construction, exactly the ones :func:`rebuild` + full replay used
+    to produce, so accept/revert decisions are unchanged.
+
+    ``schedule`` tracks the engine's current stream as a
+    :class:`~repro.sim.schedule.Schedule`, advanced through
+    :meth:`Schedule.spliced` on every committed edit — op-kind tallies
+    are derived per splice in O(window), so the pass's result carries
+    its statistics without a from-scratch recount.
+    """
+
+    def __init__(
+        self, engine: CheckpointedReplay, schedule: Schedule
+    ) -> None:
+        self.engine = engine
+        self.schedule = schedule
+        self._deleted: list[int] = []
+        self._ins_pos: list[int] = []
+        self._ins_counts: list[int] = []
+        self._ins_prefix: list[int] = []
+
+    def begin_sweep(self) -> None:
+        """Reset the coordinate map: the engine's *current* stream
+        becomes the new sweep-start index space."""
+        self._deleted.clear()
+        self._ins_pos.clear()
+        self._ins_counts.clear()
+        self._ins_prefix.clear()
+
+    def current_index(self, index: int) -> int:
+        """Current-stream position of the surviving sweep-start op
+        ``index`` (earlier accepted deletions shift it left, earlier
+        accepted insertions shift it right)."""
+        position = index - bisect_left(self._deleted, index)
+        k = bisect_right(self._ins_pos, index)
+        if k:
+            position += self._ins_prefix[k - 1]
+        return position
+
+    def try_edit(
+        self,
+        deletions,
+        insertions: dict[int, list[MachineOp]] | None = None,
+    ) -> bool:
+        """Verify one speculative edit; commit and return True when the
+        rewritten stream is legal.
+
+        ``deletions`` are sweep-start indices of surviving ops to drop;
+        ``insertions`` maps a sweep-start anchor (which must itself be
+        deleted by this edit) to ops emitted in its place.  On False the
+        engine and the coordinate map are untouched.
+        """
+        dels = sorted(deletions)
+        current = [self.current_index(i) for i in dels]
+        delete_set = set(current)
+        insert_at: dict[int, list[MachineOp]] = {}
+        if insertions:
+            for anchor, new_ops in insertions.items():
+                insert_at[self.current_index(anchor)] = list(new_ops)
+        start, end = current[0], current[-1] + 1
+        ops = self.engine.ops
+        replacement: list[MachineOp] = []
+        for position in range(start, end):
+            added = insert_at.get(position)
+            if added is not None:
+                replacement.extend(added)
+            if position not in delete_set:
+                replacement.append(ops[position])
+        verdict = self.engine.verify_splice(start, end, replacement)
+        if not verdict.ok:
+            return False
+        self.engine.commit(verdict)
+        self.schedule = self.schedule.spliced(start, end, replacement)
+        for index in dels:
+            insort(self._deleted, index)
+        if insertions:
+            for anchor, new_ops in insertions.items():
+                position = bisect_left(self._ins_pos, anchor)
+                self._ins_pos.insert(position, anchor)
+                self._ins_counts.insert(position, len(new_ops))
+            total = 0
+            self._ins_prefix.clear()
+            for count in self._ins_counts:
+                total += count
+                self._ins_prefix.append(total)
+        return True
+
+
 def rebuild(
     ops: Sequence[MachineOp],
     deleted: set[int],
@@ -217,6 +326,13 @@ def rebuild(
     ``deleted`` indices are dropped; ``insertions[i]`` ops are emitted
     at position ``i`` (before the original op there, which is normally
     itself deleted).
+
+    This is the *reference implementation* of the edit semantics the
+    passes used to verify with a full replay per candidate.
+    :class:`SpliceEditor` reproduces exactly these streams through the
+    incremental engine — the property suite
+    (``tests/test_incremental_replay.py``) uses ``rebuild`` as the
+    ground truth when constructing candidates to compare against.
     """
     out: list[MachineOp] = []
     for index, op in enumerate(ops):

@@ -10,9 +10,14 @@ shuttles, less heating and less time.
 
 Deletion is speculative: while the ion was away its home trap had one
 more free slot, which other traffic may have relied on, so every
-candidate round trip is verified by a full legality replay and reverted
-when removing it would overfill a trap (or break in-chain swap
-adjacency under ``track_chain_order``).
+candidate round trip is verified against the machine model and
+reverted when removing it would overfill a trap (or break in-chain
+swap adjacency under ``track_chain_order``).  Verification runs
+through the kernel's checkpointed splice engine
+(:class:`~repro.core.replay.CheckpointedReplay` via
+:class:`~repro.passes.base.SpliceEditor`): each candidate deletion is
+one splice replayed from the nearest state checkpoint instead of a
+full O(schedule) replay — same verdicts, a fraction of the work.
 """
 
 from __future__ import annotations
@@ -20,16 +25,16 @@ from __future__ import annotations
 from .base import (
     PassContext,
     SchedulePass,
+    SpliceEditor,
     extract_excursions,
     gate_indices_by_ion,
     has_gate_on_ion_between,
-    rebuild,
 )
-from .verify import is_legal
+from ..core.replay import CheckpointedReplay
 from ..sim.schedule import Schedule
 
 #: How many round-trip endpoints to attempt per starting excursion
-#: (longest first); bounds the number of O(n) verification replays.
+#: (longest first); bounds the number of verification splices.
 _MAX_ATTEMPTS_PER_START = 4
 
 
@@ -45,46 +50,48 @@ class RoundTripElision(SchedulePass):
     def run(
         self, schedule: Schedule, ctx: PassContext
     ) -> tuple[Schedule, int]:
+        engine = CheckpointedReplay(
+            ctx.machine, schedule.ops, ctx.initial_chains
+        )
+        editor = SpliceEditor(engine, schedule)
         ops = list(schedule.ops)
         rewrites = 0
         # Re-sweep until a pass over the stream elides nothing: removing
         # one trip can join its neighbours into a new round trip.
         while True:
-            accepted = self._sweep(ops, ctx)
+            editor.begin_sweep()
+            accepted = self._sweep(ops, editor)
             if not accepted:
                 break
             rewrites += accepted
-        return Schedule(ops), rewrites
+            ops[:] = engine.ops
+        return editor.schedule, rewrites
 
-    def _sweep(self, ops: list, ctx: PassContext) -> int:
-        """One pass over the stream; edits ``ops`` in place."""
+    def _sweep(self, ops: list, editor: SpliceEditor) -> int:
+        """One pass over the sweep-start stream ``ops``; accepted
+        deletions are committed into the editor's engine."""
         gate_index = gate_indices_by_ion(ops)
         by_ion: dict[int, list] = {}
         for trip in extract_excursions(ops):
             by_ion.setdefault(trip.ion, []).append(trip)
 
-        deleted: set[int] = set()
         accepted = 0
         for ion, trips in sorted(by_ion.items()):
             start = 0
             while start < len(trips):
                 chosen = self._elide_from(
-                    ops, deleted, ctx, gate_index, ion, trips, start
+                    editor, gate_index, ion, trips, start
                 )
                 if chosen is None:
                     start += 1
                 else:
                     accepted += 1
                     start = chosen + 1
-        if deleted:
-            ops[:] = rebuild(ops, deleted).ops
         return accepted
 
     def _elide_from(
         self,
-        ops: list,
-        deleted: set[int],
-        ctx: PassContext,
+        editor: SpliceEditor,
         gate_index: dict[int, list[int]],
         ion: int,
         trips: list,
@@ -92,8 +99,8 @@ class RoundTripElision(SchedulePass):
     ) -> int | None:
         """Try to elide trips ``start..k`` for the largest viable ``k``.
 
-        Returns the accepted end index, or None.  ``deleted`` gains the
-        elided op indices on success.
+        Returns the accepted end index, or None.  An accepted deletion
+        is committed into the splice engine before returning.
         """
         first = trips[start]
         # Collect candidate endpoints: consecutive trips with no gate on
@@ -113,13 +120,7 @@ class RoundTripElision(SchedulePass):
             span = set()
             for trip in trips[start : k + 1]:
                 span.update(trip.op_indices(include_prep_swaps=True))
-            trial = deleted | span
-            if is_legal(
-                ctx.machine,
-                rebuild(ops, trial),
-                ctx.initial_chains,
-            ):
-                deleted |= span
+            if editor.try_edit(span):
                 return k
             # Keeping the repositioning swaps sometimes preserves a
             # chain order that later swaps depend on; retry without
@@ -129,13 +130,6 @@ class RoundTripElision(SchedulePass):
                 span_no_swaps.update(
                     trip.op_indices(include_prep_swaps=False)
                 )
-            if span_no_swaps != span:
-                trial = deleted | span_no_swaps
-                if is_legal(
-                    ctx.machine,
-                    rebuild(ops, trial),
-                    ctx.initial_chains,
-                ):
-                    deleted |= span_no_swaps
-                    return k
+            if span_no_swaps != span and editor.try_edit(span_no_swaps):
+                return k
         return None

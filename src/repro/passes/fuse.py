@@ -15,11 +15,14 @@ then needed one trap left walks 3 hops where 1 suffices).  When it is,
 the whole journey is re-emitted along a shortest path — strictly fewer
 MoveOps, i.e. fewer shuttles in the paper's Table II accounting.
 
-Every rewrite is speculative and individually verified: the shortened
+Every rewrite is speculative and individually verified through the
+checkpointed splice engine (each candidate is one
+``(start, end, replacement)`` splice replayed from the nearest state
+checkpoint — the full-replay verdict at O(window) cost): the shortened
 route occupies different traps at different stream positions, so a
-candidate is kept only when the full legality replay accepts it.  The
-late anchor (emitting the journey where the original second leg ended)
-is tried before the early anchor (where the first leg began), because
+candidate is kept only when the machine model accepts it.  The late
+anchor (emitting the journey where the original second leg ended) is
+tried before the early anchor (where the first leg began), because
 keeping the ion home longest is the least disruptive to capacity.
 Chain-order schedules with explicit merge positions are fused but never
 re-routed (entry-edge semantics would change).
@@ -31,12 +34,12 @@ from .base import (
     Excursion,
     PassContext,
     SchedulePass,
+    SpliceEditor,
     extract_excursions,
     gate_indices_by_ion,
     has_gate_on_ion_between,
-    rebuild,
 )
-from .verify import is_legal
+from ..core.replay import CheckpointedReplay
 from ..sim.ops import MachineOp, MergeOp, MoveOp, SplitOp, SwapOp
 from ..sim.schedule import Schedule
 
@@ -46,7 +49,7 @@ _MAX_SWEEPS = 64
 
 
 class MergeSplitFusion(SchedulePass):
-    """Fuse merge/re-split pairs; shorten the fused route when possible."""
+    """Fuse merge/split pairs; shorten the fused route when possible."""
 
     name = "fuse-merge-split"
     description = (
@@ -57,23 +60,29 @@ class MergeSplitFusion(SchedulePass):
     def run(
         self, schedule: Schedule, ctx: PassContext
     ) -> tuple[Schedule, int]:
+        engine = CheckpointedReplay(
+            ctx.machine, schedule.ops, ctx.initial_chains
+        )
+        editor = SpliceEditor(engine, schedule)
         ops = list(schedule.ops)
         rewrites = 0
         for _ in range(_MAX_SWEEPS):
-            accepted = self._sweep(ops, ctx)
+            editor.begin_sweep()
+            accepted = self._sweep(ops, editor, ctx)
             if not accepted:
                 break
             rewrites += accepted
-        return Schedule(ops), rewrites
+            ops[:] = engine.ops
+        return editor.schedule, rewrites
 
-    def _sweep(self, ops: list, ctx: PassContext) -> int:
+    def _sweep(
+        self, ops: list, editor: SpliceEditor, ctx: PassContext
+    ) -> int:
         gate_index = gate_indices_by_ion(ops)
         by_ion: dict[int, list[Excursion]] = {}
         for trip in extract_excursions(ops):
             by_ion.setdefault(trip.ion, []).append(trip)
 
-        deleted: set[int] = set()
-        insertions: dict[int, list[MachineOp]] = {}
         touched: set[int] = set()  # split indices of consumed trips
         accepted = 0
 
@@ -92,15 +101,10 @@ class MergeSplitFusion(SchedulePass):
                     ops, ion, first.merge_index, second.split_index, second
                 ):
                     continue
-                if self._fuse(
-                    ops, ctx, deleted, insertions, first, second
-                ):
+                if self._fuse(ops, editor, ctx, first, second):
                     touched.add(first.split_index)
                     touched.add(second.split_index)
                     accepted += 1
-
-        if deleted or insertions:
-            ops[:] = rebuild(ops, deleted, insertions).ops
         return accepted
 
     @staticmethod
@@ -128,14 +132,13 @@ class MergeSplitFusion(SchedulePass):
     def _fuse(
         self,
         ops: list,
+        editor: SpliceEditor,
         ctx: PassContext,
-        deleted: set[int],
-        insertions: dict[int, list[MachineOp]],
         first: Excursion,
         second: Excursion,
     ) -> bool:
         """Try shortened-route fusion, then plain fusion; first legal
-        candidate wins.  Mutates ``deleted``/``insertions`` on success."""
+        candidate wins (committed into the splice engine)."""
         machine = ctx.machine
         origin, destination = first.start_trap, second.end_trap
         total_moves = first.num_moves + second.num_moves
@@ -157,31 +160,14 @@ class MergeSplitFusion(SchedulePass):
             )
             span = set(first.op_indices()) | set(second.op_indices())
             for anchor in (second.merge_index, first.split_index):
-                trial_deleted = deleted | span
-                trial_insertions = dict(insertions)
-                trial_insertions[anchor] = replacement
-                if is_legal(
-                    machine,
-                    rebuild(ops, trial_deleted, trial_insertions),
-                    ctx.initial_chains,
-                ):
-                    deleted |= span
-                    insertions[anchor] = replacement
+                if editor.try_edit(span, {anchor: replacement}):
                     return True
 
         # Plain fusion: drop the merge, the re-split and the re-split's
         # exit repositioning; the ion passes through in transit.
         span = {first.merge_index, second.split_index}
         span.update(second.prep_swap_indices)
-        trial_deleted = deleted | span
-        if is_legal(
-            machine,
-            rebuild(ops, trial_deleted, insertions),
-            ctx.initial_chains,
-        ):
-            deleted |= span
-            return True
-        return False
+        return editor.try_edit(span)
 
     @staticmethod
     def _route_ops(

@@ -16,12 +16,19 @@ schedule.  Safety is non-negotiable:
   scored for program fidelity and the pass is rolled back when fidelity
   dropped — heat-redistributing rewrites are kept only when they pay.
 
-The verify-and-revert loop runs on the kernel's shared-replay fast
-path: one :func:`repro.core.replay.replay` per candidate computes the
-legality verdict, the final chains *and* (with the guard enabled) the
-program log-fidelity via an attached
-:class:`~repro.core.observers.HeatingObserver` — where the pre-kernel
-manager replayed every candidate twice (verifier + simulator).
+The verify-and-revert loop runs on the kernel's *incremental* replay:
+the input schedule is replayed once into a
+:class:`~repro.core.replay.CheckpointedReplay` (machine-state
+checkpoints every √N ops, each carrying a
+:class:`~repro.core.observers.HeatingObserver` snapshot when the
+fidelity guard is on), and every pass output is then verified as a
+``(start, end, replacement)`` splice: one scan from the checkpoint
+nearest the first divergent op computes the legality verdict, the
+final chains *and* the program log-fidelity — bit-identical floats to
+a from-scratch replay, at a fraction of the work when the pass's
+edits cluster late in the stream.  Circuit equivalence is checked
+against a reference (gate multiset + per-qubit orders) precomputed
+once from the input schedule.
 
 The result records a per-pass stats delta so reports can attribute
 savings to individual rewrites.
@@ -34,12 +41,12 @@ from dataclasses import dataclass
 from ..arch.machine import QCCDMachine
 from ..core.errors import MachineModelError
 from ..core.observers import HeatingObserver
-from ..core.replay import replay
+from ..core.replay import CheckpointedReplay
 from ..sim.params import DEFAULT_PARAMS, MachineParams
 from ..sim.schedule import Schedule
 from .base import PassContext, SchedulePass
 from .registry import make_passes
-from .verify import VerificationError, verify_equivalent
+from .verify import EquivalenceReference, VerificationError
 
 #: Log-fidelity slack below which a guarded pass counts as "no worse".
 _LOG_FIDELITY_TOLERANCE = 1e-9
@@ -47,6 +54,36 @@ _LOG_FIDELITY_TOLERANCE = 1e-9
 
 class PassError(RuntimeError):
     """Raised when a pass emits an illegal or non-equivalent schedule."""
+
+
+def _diff_splice(
+    current: list, candidate: tuple
+) -> tuple[int, int, list]:
+    """Describe ``candidate`` as a splice of ``current``.
+
+    Returns ``(start, end, replacement)`` with
+    ``candidate == current[:start] + replacement + current[end:]`` —
+    the longest shared prefix and suffix are factored out, so the
+    incremental engine verifies only the divergent window.  Untouched
+    ops are shared by reference between the streams (passes copy
+    references), so the scans are dominated by identity checks.
+    """
+    n_current, n_candidate = len(current), len(candidate)
+    limit = min(n_current, n_candidate)
+    start = 0
+    while start < limit:
+        a, b = current[start], candidate[start]
+        if a is not b and a != b:
+            break
+        start += 1
+    end_current, end_candidate = n_current, n_candidate
+    while end_current > start and end_candidate > start:
+        a, b = current[end_current - 1], candidate[end_candidate - 1]
+        if a is not b and a != b:
+            break
+        end_current -= 1
+        end_candidate -= 1
+    return start, end_current, list(candidate[start:end_candidate])
 
 
 @dataclass(frozen=True)
@@ -144,11 +181,26 @@ class PassManager:
         initial_chains: dict[int, list[int]],
     ) -> OptimizationResult:
         """Optimize ``schedule``; never returns an unverified stream."""
-        # Shared-replay fast path: legality, final chains and (when the
-        # guard is on) log-fidelity from a single kernel scan.
-        final_chains, current_log_fidelity = self._verified_replay(
-            machine, schedule, initial_chains
+        # One verification replay of the input builds the incremental
+        # engine: legality, final chains and (when the guard is on) the
+        # log-fidelity of the input, plus the checkpoints every later
+        # candidate scan restarts from.
+        heat: HeatingObserver | None = None
+        observers: tuple = ()
+        if self.fidelity_guard:
+            heat = HeatingObserver(machine.num_traps, self.params)
+            observers = (heat,)
+        try:
+            engine = CheckpointedReplay(
+                machine, schedule.ops, initial_chains, observers
+            )
+        except MachineModelError as exc:
+            raise VerificationError(str(exc)) from None
+        final_chains = engine.final_chains
+        current_log_fidelity = (
+            heat.log_fidelity if heat is not None else None
         )
+        reference = EquivalenceReference(schedule)
         ctx = PassContext(machine=machine, initial_chains=initial_chains)
 
         current = schedule
@@ -161,10 +213,19 @@ class PassManager:
                 continue
 
             try:
-                candidate_chains, candidate_log_fidelity = (
-                    self._verified_replay(machine, candidate, initial_chains)
+                start, end, replacement = _diff_splice(
+                    engine.ops, candidate.ops
                 )
-                verify_equivalent(schedule, candidate)
+                if heat is not None:
+                    verdict = engine.replay_splice(start, end, replacement)
+                    candidate_log_fidelity = heat.log_fidelity
+                else:
+                    verdict = engine.verify_splice(start, end, replacement)
+                    candidate_log_fidelity = None
+                if not verdict.ok:
+                    raise VerificationError(verdict.error)
+                candidate_chains = verdict.final_chains
+                reference.verify(candidate)
             except Exception as exc:
                 raise PassError(
                     f"pass {schedule_pass.name!r} produced an invalid "
@@ -204,6 +265,7 @@ class PassManager:
                 )
             )
             if not reverted:
+                engine.commit(verdict)
                 current = candidate
                 final_chains = candidate_chains
 
@@ -212,34 +274,6 @@ class PassManager:
             raw_schedule=schedule,
             passes=tuple(stats),
             final_chains=final_chains,
-        )
-
-    def _verified_replay(
-        self,
-        machine: QCCDMachine,
-        schedule: Schedule,
-        initial_chains: dict[int, list[int]],
-    ) -> tuple[dict[int, list[int]], float | None]:
-        """One kernel replay: (final chains, log-fidelity | None).
-
-        Raises :class:`~repro.passes.verify.VerificationError` when the
-        schedule is illegal.  The fidelity term — identical, float for
-        float, to what :class:`~repro.sim.simulator.Simulator` reports
-        (same observer, same accumulation order) — is computed only
-        when the guard needs it.
-        """
-        observers: tuple = ()
-        heat = None
-        if self.fidelity_guard:
-            heat = HeatingObserver(machine.num_traps, self.params)
-            observers = (heat,)
-        try:
-            state = replay(machine, schedule, initial_chains, observers)
-        except MachineModelError as exc:
-            raise VerificationError(str(exc)) from None
-        return (
-            state.chains_dict(),
-            heat.log_fidelity if heat is not None else None,
         )
 
 

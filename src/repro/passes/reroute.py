@@ -12,9 +12,12 @@ in place (same hop count — shuttle totals never change, but the
 traffic avoids the hot spots).
 
 On linear machines (the paper's L6) shortest paths are unique and the
-pass is a provable no-op.  Rewrites are verified by full legality
-replay and reverted when the alternative route is blocked at the
-stream position the journey actually crosses it.
+pass is a provable no-op.  Rewrites are verified through the
+checkpointed splice engine — each alternative route is one
+``(start, end, replacement)`` splice replayed from the nearest state
+checkpoint, the full-replay verdict at O(window) cost — and reverted
+when the alternative route is blocked at the stream position the
+journey actually crosses it.
 """
 
 from __future__ import annotations
@@ -22,13 +25,13 @@ from __future__ import annotations
 from .base import (
     PassContext,
     SchedulePass,
+    SpliceEditor,
     extract_excursions,
     occupancy_at,
     occupancy_timeline,
-    rebuild,
 )
-from .verify import is_legal
-from ..sim.ops import MachineOp, MoveOp
+from ..core.replay import CheckpointedReplay
+from ..sim.ops import MoveOp
 from ..sim.schedule import Schedule
 
 #: Cap on enumerated equal-length paths per journey (grids explode
@@ -75,8 +78,10 @@ class RouteReselection(SchedulePass):
         machine = ctx.machine
         topology = machine.topology
 
-        deleted: set[int] = set()
-        insertions: dict[int, list[MachineOp]] = {}
+        editor = SpliceEditor(
+            CheckpointedReplay(machine, schedule.ops, ctx.initial_chains),
+            schedule,
+        )
         rewrites = 0
 
         for trip in extract_excursions(ops):
@@ -112,19 +117,12 @@ class RouteReselection(SchedulePass):
                 MoveOp(ion=trip.ion, src=a, dst=b, reason=reason)
                 for a, b in zip(best, best[1:])
             ]
-            span = set(trip.move_indices)
-            trial_deleted = deleted | span
-            trial_insertions = dict(insertions)
-            trial_insertions[trip.move_indices[0]] = replacement
-            if is_legal(
-                machine,
-                rebuild(ops, trial_deleted, trial_insertions),
-                ctx.initial_chains,
+            if editor.try_edit(
+                set(trip.move_indices),
+                {trip.move_indices[0]: replacement},
             ):
-                deleted = trial_deleted
-                insertions = trial_insertions
                 rewrites += 1
 
         if not rewrites:
             return Schedule(ops), 0
-        return rebuild(ops, deleted, insertions), rewrites
+        return editor.schedule, rewrites

@@ -86,6 +86,35 @@ def qubit_gate_sequences(schedule: Schedule) -> dict[int, tuple]:
     return {qubit: tuple(gates) for qubit, gates in sequences.items()}
 
 
+class EquivalenceReference:
+    """Precomputed circuit-equivalence reference for one schedule.
+
+    The pass manager compares every pass candidate against the *same*
+    original schedule; rebuilding the original's gate multiset and
+    per-qubit orders for each candidate doubled the equivalence cost.
+    Build the reference once per optimization run, then
+    :meth:`verify` each candidate against it — identical verdicts,
+    half the work.
+    """
+
+    __slots__ = ("_multiset", "_sequences")
+
+    def __init__(self, schedule: Schedule) -> None:
+        self._multiset = gate_multiset(schedule)
+        self._sequences = qubit_gate_sequences(schedule)
+
+    def verify(self, candidate: Schedule) -> None:
+        """Raise unless ``candidate`` executes the reference circuit."""
+        if gate_multiset(candidate) != self._multiset:
+            raise VerificationError(
+                "optimized schedule changed the gate multiset"
+            )
+        if qubit_gate_sequences(candidate) != self._sequences:
+            raise VerificationError(
+                "optimized schedule reordered dependent gates"
+            )
+
+
 def verify_equivalent(before: Schedule, after: Schedule) -> None:
     """Raise unless ``after`` executes the same circuit as ``before``.
 
@@ -93,11 +122,4 @@ def verify_equivalent(before: Schedule, after: Schedule) -> None:
     order (dependency edges preserved).  Shuttle structure is free to
     differ — that is what the passes rewrite.
     """
-    if gate_multiset(before) != gate_multiset(after):
-        raise VerificationError(
-            "optimized schedule changed the gate multiset"
-        )
-    if qubit_gate_sequences(before) != qubit_gate_sequences(after):
-        raise VerificationError(
-            "optimized schedule reordered dependent gates"
-        )
+    EquivalenceReference(before).verify(after)

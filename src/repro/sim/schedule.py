@@ -36,10 +36,13 @@ class Schedule:
         self._ops: list[MachineOp] = list(ops)
         #: Lazy kind tally (None until first statistics query).
         self._kind_counts: dict[str, int] | None = None
+        #: Cached content hash (None until first hash, reset on mutation).
+        self._hash: int | None = None
 
     def append(self, op: MachineOp) -> None:
         """Append one machine op."""
         self._ops.append(op)
+        self._hash = None
         counts = self._kind_counts
         if counts is not None:
             kind = _KIND_OF.get(type(op)) or op.kind
@@ -47,11 +50,46 @@ class Schedule:
 
     def extend(self, ops: Iterable[MachineOp]) -> None:
         """Append several machine ops."""
+        self._hash = None
         if self._kind_counts is None:
             self._ops.extend(ops)
             return
         for op in ops:
             self.append(op)
+
+    def spliced(
+        self,
+        start: int,
+        end: int,
+        replacement: Iterable[MachineOp] = (),
+    ) -> "Schedule":
+        """New schedule with ``ops[start:end]`` replaced.
+
+        This is the cheap construction path for splice rewrites (the
+        incremental verification engine's edit shape): the op list is
+        built by slicing, and — when this schedule's kind tally exists —
+        the new tally is *derived* in O(window) from the old one
+        instead of re-counting the whole stream on the next statistics
+        query.
+        """
+        replacement = list(replacement)
+        out = Schedule.__new__(Schedule)
+        out._ops = self._ops[:start] + replacement + self._ops[end:]
+        out._hash = None
+        counts = self._kind_counts
+        if counts is None:
+            out._kind_counts = None
+        else:
+            counts = dict(counts)
+            kind_of = _KIND_OF
+            for op in self._ops[start:end]:
+                kind = kind_of.get(type(op)) or op.kind
+                counts[kind] -= 1
+            for op in replacement:
+                kind = kind_of.get(type(op)) or op.kind
+                counts[kind] = counts.get(kind, 0) + 1
+            out._kind_counts = counts
+        return out
 
     def _counts(self) -> dict[str, int]:
         """The kind tally, built on first use."""
@@ -96,10 +134,14 @@ class Schedule:
         """Content hash consistent with ``__eq__`` (all ops are frozen
         dataclasses).  Defining ``__eq__`` alone would set ``__hash__``
         to None and silently make schedules unusable as dict/set keys —
-        which result caches and memo tables rely on.  The hash of a
-        mutable container is only stable while it is not mutated; hash,
-        then stop appending."""
-        return hash(tuple(self._ops))
+        which result caches and memo tables rely on.  The hash is
+        computed once and cached (dict lookups used to re-hash the full
+        op stream every probe); ``append``/``extend``/``spliced``
+        invalidate or bypass the cache, so a mutated schedule re-hashes
+        correctly instead of lying about its content."""
+        if self._hash is None:
+            self._hash = hash(tuple(self._ops))
+        return self._hash
 
     # ------------------------------------------------------------------
     # Statistics (the quantities the paper reports)

@@ -83,3 +83,58 @@ class TestHashing:
     def test_hash_differs_for_different_content(self):
         other = Schedule(mixed_schedule().ops[:-1])
         assert hash(other) != hash(mixed_schedule())
+
+    def test_hash_is_cached(self):
+        schedule = mixed_schedule()
+        assert schedule._hash is None
+        first = hash(schedule)
+        assert schedule._hash == first
+        assert hash(schedule) == first
+
+    def test_mutation_invalidates_cached_hash(self):
+        # Regression: the cached hash must not survive a mutation — a
+        # schedule appended to after hashing has to re-hash to its new
+        # content, matching __eq__ against a fresh equal schedule.
+        schedule = mixed_schedule()
+        stale = hash(schedule)
+        schedule.append(GateOp(gate=Gate("h", (1,)), trap=0))
+        assert hash(schedule) != stale
+        assert hash(schedule) == hash(Schedule(schedule.ops))
+        extended = mixed_schedule()
+        stale = hash(extended)
+        extended.extend([GateOp(gate=Gate("h", (1,)), trap=0)])
+        assert hash(extended) != stale
+        assert hash(extended) == hash(schedule)
+
+
+class TestSpliced:
+    def test_spliced_ops_and_counts(self):
+        schedule = mixed_schedule()
+        _ = schedule.num_shuttles  # force the kind tally into existence
+        replacement = [SplitOp(ion=3, trap=0), MergeOp(ion=3, trap=0)]
+        out = schedule.spliced(2, 4, replacement)
+        expected = Schedule(
+            list(schedule.ops[:2]) + replacement + list(schedule.ops[4:])
+        )
+        assert out == expected
+        # Derived counts match a from-scratch tally.
+        assert out.count_kinds() == expected.count_kinds()
+        assert out.num_shuttles == 0
+        assert out.num_splits == 2
+        assert hash(out) == hash(expected)
+
+    def test_spliced_without_counts_stays_lazy(self):
+        schedule = mixed_schedule()
+        out = schedule.spliced(0, 1)
+        assert out._kind_counts is None
+        assert len(out) == 5
+        assert out.num_shuttles == 2
+
+    def test_spliced_pure_insertion(self):
+        schedule = mixed_schedule()
+        _ = schedule.count_kinds()
+        extra = [GateOp(gate=Gate("h", (1,)), trap=0)]
+        out = schedule.spliced(3, 3, extra)
+        assert len(out) == 7
+        assert out.num_gates == 3
+        assert out.count_kinds() == Schedule(out.ops).count_kinds()
