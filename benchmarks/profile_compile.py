@@ -1,0 +1,130 @@
+"""Profile one compile (or the whole suite) and print the hot spots.
+
+Performance PRs should start from data, not intuition: this script runs
+the compiler under :mod:`cProfile` and prints the top-N functions by
+cumulative time, so "which layer is the bottleneck now?" is one command
+away.  It is how the future-gate-index PR found that 92% of compile
+wall time was the per-decision pending-tail rescans — and how the next
+perf PR should find its target::
+
+    PYTHONPATH=src python benchmarks/profile_compile.py                 # full reduced suite
+    PYTHONPATH=src python benchmarks/profile_compile.py --circuit QFT   # one benchmark
+    PYTHONPATH=src python benchmarks/profile_compile.py --top 40 --sort tottime
+    PYTHONPATH=src python benchmarks/profile_compile.py --baseline      # [7]'s config
+    PYTHONPATH=src python benchmarks/profile_compile.py --no-index      # reference scan path
+
+Circuit names match the paper suite (``Supremacy``, ``QAOA``,
+``SquareRoot``, ``QFT``, ``QuadraticForm``, ``Random-<n>q-<i>``);
+``--machine`` accepts ``l6`` (default), ``linear:<traps>``,
+``ring:<traps>`` or ``grid:<rows>x<cols>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def build_machine(spec: str):
+    from repro.arch.presets import (
+        grid_machine,
+        l6_machine,
+        linear_machine,
+        ring_machine,
+    )
+
+    if spec == "l6":
+        return l6_machine()
+    kind, _, arg = spec.partition(":")
+    if kind == "linear":
+        return linear_machine(int(arg))
+    if kind == "ring":
+        return ring_machine(int(arg))
+    if kind == "grid":
+        rows, _, cols = arg.partition("x")
+        return grid_machine(int(rows), int(cols))
+    raise SystemExit(f"unknown machine spec {spec!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="cProfile the QCCD compiler's hot path"
+    )
+    parser.add_argument(
+        "--circuit",
+        default=None,
+        help="paper-suite circuit name (default: every reduced-suite circuit)",
+    )
+    parser.add_argument("--machine", default="l6", help="l6 | linear:N | ring:N | grid:RxC")
+    parser.add_argument("--top", type=int, default=25, help="rows to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="compiles per circuit"
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="profile the [7] baseline config instead of this work's",
+    )
+    parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="profile the reference tail-scanning path (use_future_index=False)",
+    )
+    args = parser.parse_args()
+
+    from repro.bench.suite import paper_suite
+    from repro.compiler.compiler import QCCDCompiler
+    from repro.compiler.config import CompilerConfig
+    from repro.compiler.mapping import greedy_initial_mapping
+
+    machine = build_machine(args.machine)
+    circuits = paper_suite(full=False)
+    if args.circuit is not None:
+        circuits = [c for c in circuits if c.name == args.circuit]
+        if not circuits:
+            names = ", ".join(c.name for c in paper_suite(full=False))
+            raise SystemExit(
+                f"unknown circuit {args.circuit!r}; choose from: {names}"
+            )
+    config = (
+        CompilerConfig.baseline() if args.baseline else CompilerConfig.optimized()
+    )
+    compiler = QCCDCompiler(
+        machine, config, use_future_index=not args.no_index
+    )
+    jobs = [
+        (circuit, greedy_initial_mapping(circuit, machine))
+        for circuit in circuits
+    ]
+
+    profile = cProfile.Profile()
+    profile.enable()
+    for circuit, chains in jobs:
+        for _ in range(args.repeat):
+            compiler.compile(circuit, initial_chains=chains)
+    profile.disable()
+
+    label = ", ".join(c.name for c in circuits[:5])
+    if len(circuits) > 5:
+        label += f", ... ({len(circuits)} circuits)"
+    print(
+        f"# {config.name} on {machine.name} — {label} — "
+        f"top {args.top} by {args.sort}\n"
+    )
+    stats = pstats.Stats(profile)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,10 +6,14 @@ L6 machine) and writes ``benchmarks/baselines/BENCH_compile_baseline.json``
 against).  When an earlier baseline exists, its phase totals are
 carried into the new recording under ``"previous"`` (with its label),
 so the benchmark can keep reporting the speedup that justified the
-re-baseline — e.g. the incremental-verification engine's optimize win
-is pinned against the full-replay recording it retired.  Re-run this
-script only to re-baseline deliberately (new hardware, or a
-performance change whose win should become the new floor)::
+re-baseline — e.g. the future-gate-index engine's compile win is
+pinned against the tail-rescanning recording it retired.  Each row
+also records a process-independent content fingerprint of the raw
+compiled schedule (:mod:`repro.batch.fingerprint`), so the benchmark
+can assert that a performance change left the compiler's *output*
+byte-identical, not just fast.  Re-run this script only to re-baseline
+deliberately (new hardware, or a performance change whose win should
+become the new floor)::
 
     PYTHONPATH=src python benchmarks/record_compile_baseline.py [label]
 """
@@ -35,6 +39,7 @@ REPEATS = 3
 
 def time_suite() -> dict:
     from repro.arch.presets import l6_machine
+    from repro.batch.fingerprint import fingerprint
     from repro.bench.suite import paper_suite
     from repro.compiler.compiler import QCCDCompiler
     from repro.compiler.config import CompilerConfig
@@ -81,6 +86,7 @@ def time_suite() -> dict:
             {
                 "circuit": circuit.name,
                 "num_ops": len(result.schedule),
+                "schedule_fingerprint": fingerprint(list(result.schedule)),
                 "compile_seconds": round(compile_s, 4),
                 "optimize_seconds": round(optimize_s, 4),
                 "simulate_seconds": round(simulate_s, 4),

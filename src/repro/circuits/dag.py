@@ -51,11 +51,17 @@ class DependencyDAG:
                 self._preds[index].append(pred)
                 self._succs[pred].append(index)
 
-        self._layers: list[list[int]] = []
+        grouped: list[list[int]] = []
         for index, layer in enumerate(self._layer):
-            while len(self._layers) <= layer:
-                self._layers.append([])
-            self._layers[layer].append(index)
+            while len(grouped) <= layer:
+                grouped.append([])
+            grouped[layer].append(index)
+        # Frozen once: layers() and layer() hand these out directly
+        # (the compiler's hot path queries them per decision), so the
+        # groups are tuples rather than per-call defensive list copies.
+        self._layers: tuple[tuple[int, ...], ...] = tuple(
+            tuple(group) for group in grouped
+        )
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -84,13 +90,18 @@ class DependencyDAG:
         """Number of layers (equals circuit depth)."""
         return len(self._layers)
 
-    def layers(self) -> list[list[int]]:
-        """Gates grouped by layer, each layer in program order."""
-        return [list(layer) for layer in self._layers]
+    def layers(self) -> tuple[tuple[int, ...], ...]:
+        """Gates grouped by layer, each layer in program order.
 
-    def layer(self, number: int) -> list[int]:
-        """Gate indices in one layer."""
-        return list(self._layers[number])
+        The returned tuples are the DAG's own immutable groups (no
+        per-call copy); callers can neither corrupt the DAG through
+        them nor observe them change.
+        """
+        return self._layers
+
+    def layer(self, number: int) -> tuple[int, ...]:
+        """Gate indices in one layer (immutable; see :meth:`layers`)."""
+        return self._layers[number]
 
     # ------------------------------------------------------------------
     # Ordering

@@ -2,6 +2,7 @@
 
 from .compiler import QCCDCompiler, compile_and_simulate, compile_circuit
 from .config import DEFAULT_PROXIMITY, CompilerConfig
+from .future_index import FutureGateIndex, FutureView
 from .mapping import (
     MAPPING_POLICIES,
     greedy_initial_mapping,
@@ -26,7 +27,9 @@ __all__ = [
     "CompilerState",
     "DEFAULT_PROXIMITY",
     "ExcessCapacityPolicy",
+    "FutureGateIndex",
     "FutureOpsPolicy",
+    "FutureView",
     "MAPPING_POLICIES",
     "MoveScores",
     "QCCDCompiler",

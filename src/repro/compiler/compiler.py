@@ -38,6 +38,7 @@ from ..sim.ops import GateOp, ShuttleReason
 from ..sim.params import DEFAULT_PARAMS, MachineParams
 from ..sim.schedule import Schedule
 from .config import CompilerConfig
+from .future_index import FutureGateIndex
 from .mapping import greedy_initial_mapping
 from .policies import ShuttleDecision, make_policy
 from .reorder import find_reorder_candidate
@@ -56,15 +57,25 @@ class QCCDCompiler:
     config:
         Heuristic configuration; defaults to the paper's optimized
         compiler.  Use :meth:`CompilerConfig.baseline` for [7].
+    use_future_index:
+        When True (the default), direction decisions, eviction scoring
+        and re-order candidate search run against the per-ion
+        :class:`~repro.compiler.future_index.FutureGateIndex` —
+        O(window) per decision.  False selects the reference
+        implementation that re-scans the pending tail per decision;
+        both produce bit-identical schedules (the property suite in
+        ``tests/test_future_index.py`` holds them to that).
     """
 
     def __init__(
         self,
         machine: QCCDMachine,
         config: CompilerConfig | None = None,
+        use_future_index: bool = True,
     ) -> None:
         self.machine = machine
         self.config = config if config is not None else CompilerConfig.optimized()
+        self.use_future_index = use_future_index
         self._policy = make_policy(
             self.config.shuttle_policy,
             self.config.proximity,
@@ -73,6 +84,10 @@ class QCCDCompiler:
             self.config.capacity_guard,
             self.config.score_decay,
         )
+        #: The last compile's index (introspection: tests and
+        #: profiling read its memo/scan counters).  None before the
+        #: first compile or when ``use_future_index`` is off.
+        self._last_future_index: FutureGateIndex | None = None
 
     def _score_margin(self, gate, state, upcoming, active_layer) -> int:
         """Margin between the two move scores of the active gate.
@@ -83,6 +98,10 @@ class QCCDCompiler:
         one future gate over the alternative.  Returns a large margin
         for the baseline policy (which has no scores), effectively
         leaving the decision to the ``cheap_evict`` flag alone.
+
+        With the future-gate index, this rides the same per-(gate,
+        mapping-epoch) memo as ``favoured`` and ``decide``: the margin
+        check costs a dict lookup, not a rescan.
         """
         if not hasattr(self._policy, "move_scores"):
             return 0
@@ -125,17 +144,31 @@ class QCCDCompiler:
         num_reorders = 0
         pos = 0
 
+        future: FutureGateIndex | None = None
+        if self.use_future_index:
+            future = FutureGateIndex(dag, pending, circuit.num_qubits)
+        self._last_future_index = future
+
         def upcoming_from(start: int):
-            """Yield (gate, layer) pairs for the pending tail."""
+            """Yield (gate, layer) pairs for the pending tail (the
+            reference scan, used when the index is disabled)."""
             for later in range(start, len(pending)):
                 index_later = pending[later]
                 yield dag.gate(index_later), dag.layer_of(index_later)
+
+        def decision_window():
+            """The upcoming-gate view for decisions about the active
+            gate: the tail after ``pos``.  The active gate is two-qubit
+            here, hence the ``+ 1`` on the executed two-qubit count."""
+            if future is not None:
+                return future.view(pos + 1, future.executed_2q + 1)
+            return upcoming_from(pos + 1)
 
         router = Router(
             state,
             schedule,
             self.config,
-            upcoming_factory=lambda: upcoming_from(pos + 1),
+            upcoming_factory=decision_window,
         )
 
         while pos < len(pending):
@@ -148,6 +181,8 @@ class QCCDCompiler:
                 )
                 executed.add(index)
                 gate_order.append(index)
+                if future is not None:
+                    future.mark_executed(index, False)
                 pos += 1
                 continue
 
@@ -156,12 +191,16 @@ class QCCDCompiler:
                 schedule.append(GateOp(gate=gate, trap=state.trap_of(ion_a)))
                 executed.add(index)
                 gate_order.append(index)
+                if future is not None:
+                    future.mark_executed(index, True)
                 pos += 1
                 continue
 
             pinned = frozenset((ion_a, ion_b))
+            if future is not None:
+                future.num_decision_points += 1
             favoured = self._policy.favoured(
-                gate, state, upcoming_from(pos + 1), dag.layer_of(index)
+                gate, state, decision_window(), dag.layer_of(index)
             )
 
             if state.is_full(favoured.dst):
@@ -182,8 +221,11 @@ class QCCDCompiler:
                             g, state, upcoming, layer
                         ),
                         old_destination=favoured.dst,
+                        future=future,
                     )
                     if candidate_pos is not None:
+                        if future is not None:
+                            future.splice(pos, candidate_pos)
                         candidate = pending.pop(candidate_pos)
                         pending.insert(pos, candidate)
                         reorder_attempts[index] += 1
@@ -191,7 +233,7 @@ class QCCDCompiler:
                         continue  # the hoisted gate is the new active gate
                 if self.config.cheap_evict:
                     score_margin = self._score_margin(
-                        gate, state, upcoming_from(pos + 1), dag.layer_of(index)
+                        gate, state, decision_window(), dag.layer_of(index)
                     )
                     if score_margin > 1 and router.cheap_evict(
                         favoured.dst, pinned
@@ -201,7 +243,7 @@ class QCCDCompiler:
                         pass
 
             decision = self._policy.decide(
-                gate, state, upcoming_from(pos + 1), dag.layer_of(index)
+                gate, state, decision_window(), dag.layer_of(index)
             )
             if state.is_full(decision.dst):
                 flipped = ShuttleDecision(
@@ -220,6 +262,8 @@ class QCCDCompiler:
             schedule.append(GateOp(gate=gate, trap=decision.dst))
             executed.add(index)
             gate_order.append(index)
+            if future is not None:
+                future.mark_executed(index, True)
             pos += 1
 
         pass_stats: tuple = ()

@@ -31,6 +31,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from ..circuits.gate import Gate
+from .future_index import FutureView
 from .state import CompilerState
 
 #: An upcoming-gate stream item: the gate and its DAG layer.
@@ -189,7 +190,17 @@ class FutureOpsPolicy:
         proximity cutoff.  ``upcoming`` yields ``(gate, layer)`` pairs
         (bare gates are accepted with layer 0, degrading gracefully to
         the ``"gates"`` metric).
+
+        When ``upcoming`` is a :class:`~repro.compiler.future_index.
+        FutureView`, the scan instead walks only the two active ions'
+        indexed gate lists — O(window on those lists) rather than
+        O(remaining program) — with bit-identical scores (same
+        additions in the same order; see DESIGN.md §8).
         """
+        if isinstance(upcoming, FutureView):
+            return self._move_scores_indexed(
+                ion_a, ion_b, state, upcoming, active_layer
+            )
         trap_a = state.trap_of(ion_a)
         trap_b = state.trap_of(ion_b)
         score_ab = 0.0
@@ -241,6 +252,124 @@ class FutureOpsPolicy:
                 if partner_trap == trap_a:
                     score_ba += weight
         return MoveScores(a_to_b=score_ab, b_to_a=score_ba)
+
+    def _move_scores_indexed(
+        self,
+        ion_a: int,
+        ion_b: int,
+        state: CompilerState,
+        view: FutureView,
+        active_layer: int | None,
+    ) -> MoveScores:
+        """Indexed :meth:`move_scores`: merge-walk the two ions' gate lists.
+
+        Only gates involving ``ion_a`` or ``ion_b`` can contribute to a
+        score, and — thanks to the index's layer-monotone pending
+        invariant — only they can terminate the scan either: an
+        irrelevant gate breaching the ``"layers"`` cutoff implies the
+        next relevant gate breaches it too, and ``"gates"``-metric gaps
+        are reconstructed exactly from the per-node two-qubit ranks.
+        Results are memoized per mapping epoch: ``favoured``, the
+        compiler's ``_score_margin`` and ``decide`` ask for the same
+        scores back to back, and the epoch key invalidates them the
+        moment an eviction moves an ion.
+        """
+        index = view.index
+        if state.epoch != index.memo_epoch:
+            index.score_memo.clear()
+            index.memo_epoch = state.epoch
+        memo_key = (ion_a, ion_b, view.start, view.exclude)
+        cached = index.score_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        index.num_score_passes += 1
+
+        trap_a = state.trap_of(ion_a)
+        trap_b = state.trap_of(ion_b)
+        score_ab = 0.0
+        score_ba = 0.0
+        proximity = self.proximity
+        use_layers = self.proximity_metric == "layers"
+        use_decay = self.score_decay < 1.0
+        track_gaps = proximity is not None and not use_layers
+        last_relevant_layer = active_layer
+
+        nodes_a, partners_a, ia = index.ion_stream(ion_a)
+        nodes_b, partners_b, ib = index.ion_stream(ion_b)
+        end_a = len(nodes_a)
+        end_b = len(nodes_b)
+        order_key = index.order_key
+        node_layer = index.node_layer
+        rank2q = index.rank2q
+        start = view.start
+        exclude = view.exclude
+        exclude_key = order_key[exclude] if exclude is not None else None
+        # "gates" metric: rank of the last relevant gate; seeded one
+        # before the window origin so the first gap comes out as the
+        # number of two-qubit gates between the window start and the
+        # first relevant gate, exactly like the stream scan's counter.
+        previous_rank = view.rank_start - 1
+
+        while True:
+            while ia < end_a and (
+                order_key[nodes_a[ia]] < start or nodes_a[ia] == exclude
+            ):
+                ia += 1
+            while ib < end_b and (
+                order_key[nodes_b[ib]] < start or nodes_b[ib] == exclude
+            ):
+                ib += 1
+            key_a = order_key[nodes_a[ia]] if ia < end_a else None
+            key_b = order_key[nodes_b[ib]] if ib < end_b else None
+            if key_a is None and key_b is None:
+                break
+            if key_b is None or (key_a is not None and key_a <= key_b):
+                node = nodes_a[ia]
+                a_in = True
+                b_in = key_a == key_b
+            else:
+                node = nodes_b[ib]
+                a_in = False
+                b_in = True
+
+            layer = node_layer[node]
+            if use_layers:
+                if (
+                    proximity is not None
+                    and last_relevant_layer is not None
+                    and layer - last_relevant_layer > proximity
+                ):
+                    break
+            elif track_gaps:
+                rank = rank2q[node]
+                if exclude_key is not None and exclude_key < order_key[node]:
+                    rank -= 1
+                if rank - previous_rank - 1 > proximity:
+                    break
+                previous_rank = rank
+            last_relevant_layer = layer
+
+            weight = 1.0
+            if use_decay and active_layer is not None:
+                weight = self.score_decay ** max(0, layer - active_layer)
+            if a_in:
+                partner_trap = state.trap_of(partners_a[ia])
+                if partner_trap == trap_b:
+                    score_ab += weight
+                if partner_trap == trap_a:
+                    score_ba += weight
+                ia += 1
+            if b_in:
+                partner_trap = state.trap_of(partners_b[ib])
+                if partner_trap == trap_b:
+                    score_ab += weight
+                if partner_trap == trap_a:
+                    score_ba += weight
+                ib += 1
+
+        scores = MoveScores(a_to_b=score_ab, b_to_a=score_ba)
+        index.score_memo[memo_key] = scores
+        return scores
 
     def favoured(
         self,

@@ -14,6 +14,7 @@ from collections.abc import Callable, Iterable, Sequence
 
 from ..circuits.dag import DependencyDAG
 from ..circuits.gate import Gate
+from .future_index import FutureGateIndex
 from .state import CompilerState
 
 
@@ -25,6 +26,7 @@ def find_reorder_candidate(
     state: CompilerState,
     decide: Callable[[Gate, Iterable[Gate]], "object"],
     old_destination: int,
+    future: FutureGateIndex | None = None,
 ) -> int | None:
     """Return the pending-list position of a hoistable gate, or None.
 
@@ -41,7 +43,18 @@ def find_reorder_candidate(
     candidate gate, the upcoming ``(gate, layer)`` iterable, and the
     candidate's layer, and returns an object with ``src``/``dst``
     attributes (a ShuttleDecision).
+
+    With a :class:`~repro.compiler.future_index.FutureGateIndex`,
+    candidates are enumerated from the full trap's own ions' gate lists
+    (a qualifying gate must move an ion *out of* ``old_destination``,
+    so one of its qubits sits there now) instead of scanning the whole
+    pending tail, and each candidate's direction decision scores
+    against an indexed view — same candidates, same order, same result.
     """
+    if future is not None:
+        return _find_candidate_indexed(
+            pending, active_pos, dag, state, decide, old_destination, future
+        )
     active_index = pending[active_pos]
     active_layer = dag.layer_of(active_index)
     for pos in range(active_pos + 1, len(pending)):
@@ -64,6 +77,57 @@ def find_reorder_candidate(
         decision = decide(gate, upcoming, dag.layer_of(index))
         if decision.src == old_destination:
             return pos
+    return None
+
+
+def _find_candidate_indexed(
+    pending: Sequence[int],
+    active_pos: int,
+    dag: DependencyDAG,
+    state: CompilerState,
+    decide: Callable[[Gate, Iterable[Gate]], "object"],
+    old_destination: int,
+    future: FutureGateIndex,
+) -> int | None:
+    """Algorithm 1 over the future-gate index.
+
+    Only gates with a qubit whose ion currently sits in the full trap
+    can have ``old_destination`` among their traps, so the candidate
+    set is the union of that chain's per-ion gate lists, cut at the
+    active layer (per-ion lists inherit the pending tail's monotone
+    layers, so the cut is a prefix).  Candidates are then visited in
+    pending order — exactly the order the tail scan visits them.
+    """
+    active_layer = future.node_layer[pending[active_pos]]
+    node_layer = future.node_layer
+    order_key = future.order_key
+    executed = future.executed
+    candidates: list[int] = []
+    for ion in state.chains[old_destination]:
+        nodes, _partners, i = future.ion_stream(ion)
+        for j in range(i, len(nodes)):
+            node = nodes[j]
+            if node_layer[node] > active_layer:
+                break
+            if order_key[node] > active_pos:
+                candidates.append(node)
+    candidates.sort(key=order_key.__getitem__)
+    rank_start = future.executed_2q
+    for node in candidates:
+        if any(not executed[pred] for pred in dag.predecessors(node)):
+            continue
+        gate = dag.gate(node)
+        ion_a, ion_b = gate.qubits
+        trap_a = state.trap_of(ion_a)
+        trap_b = state.trap_of(ion_b)
+        if trap_a == trap_b:
+            continue  # executes without a shuttle; frees no slot
+        # The candidate's future starts at the active position (it will
+        # execute first, everything else follows) and omits itself.
+        view = future.view(active_pos, rank_start, exclude=node)
+        decision = decide(gate, view, node_layer[node])
+        if decision.src == old_destination:
+            return order_key[node]
     return None
 
 

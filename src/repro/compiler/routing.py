@@ -36,9 +36,12 @@ class Router:
     config:
         Supplies the re-balancing strategy and ion-selection rule.
     upcoming_factory:
-        Zero-argument callable returning a fresh iterable of upcoming
-        gates (needed by max-score ion selection); the compiler binds it
-        to its current program position.
+        Zero-argument callable returning a fresh view of the upcoming
+        gates (needed by max-score ion selection); the compiler binds
+        it to its current program position.  The compiler supplies
+        :class:`~repro.compiler.future_index.FutureView` windows so
+        eviction scoring walks per-ion indexes; a plain gate iterable
+        is accepted for the reference scan.
     """
 
     def __init__(
@@ -158,7 +161,7 @@ class Router:
         if not free_neighbors:
             return False
         destination = free_neighbors[0]
-        upcoming = list(self.upcoming_factory())
+        upcoming = self.upcoming_factory()
         ion, score = max_score_with_value(
             state,
             full_trap,
@@ -177,7 +180,7 @@ class Router:
         self, full_trap: int, pinned: frozenset[int], depth: int
     ) -> None:
         """Evict one ion from ``full_trap`` so traffic can pass (Fig. 7)."""
-        upcoming = list(self.upcoming_factory())
+        upcoming = self.upcoming_factory()
         ion, destination = select_eviction(
             self.state,
             full_trap,

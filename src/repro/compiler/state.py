@@ -34,7 +34,7 @@ class CompilerState:
         Trap id -> ordered ion chain, as produced by the initial mapper.
     """
 
-    __slots__ = ("machine", "chains", "_state", "_lookup", "_capacities")
+    __slots__ = ("machine", "chains", "epoch", "_state", "_lookup", "_capacities")
 
     def __init__(
         self, machine: QCCDMachine, initial_chains: dict[int, list[int]]
@@ -51,6 +51,11 @@ class CompilerState:
         self.chains = self._state.chains
         self._lookup = self._state._trap_of
         self._capacities = self._state.capacities
+        #: Mapping epoch: bumped on every mutation.  Anything derived
+        #: from ion placement (the future-gate index's move-score memo)
+        #: keys on it, so a shuttle invalidates exactly the memo
+        #: entries it should and nothing else.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -89,6 +94,7 @@ class CompilerState:
     # ------------------------------------------------------------------
     def detach_ion(self, ion: int) -> int:
         """Remove an ion from its chain (split); returns the source trap."""
+        self.epoch += 1
         try:
             return self._state.detach_ion(ion)
         except MachineModelError as exc:
@@ -100,6 +106,7 @@ class CompilerState:
         ``position`` inserts at that chain index (0 = head); the default
         appends at the tail.
         """
+        self.epoch += 1
         try:
             self._state.attach_ion(ion, trap, position)
         except MachineModelError as exc:
@@ -108,6 +115,7 @@ class CompilerState:
     def swap_adjacent(self, trap: int, index: int) -> tuple[int, int]:
         """Exchange the chain neighbours at ``index`` and ``index + 1``;
         returns the swapped ion pair."""
+        self.epoch += 1
         try:
             return self._state.swap_adjacent(trap, index)
         except MachineModelError as exc:

@@ -30,10 +30,10 @@ class TestPaperFig2:
         dag = DependencyDAG(paper_fig2_circuit())
         # Fig. 2b: L0 = {g1, g2, g4}, L1 = {g3}, L2 = {g5, g6},
         # L3 = {g7, g8, g9}  (1-indexed gates; 0-indexed here)
-        assert dag.layer(0) == [0, 1, 3]
-        assert dag.layer(1) == [2]
-        assert dag.layer(2) == [4, 5]
-        assert dag.layer(3) == [6, 7, 8]
+        assert dag.layer(0) == (0, 1, 3)
+        assert dag.layer(1) == (2,)
+        assert dag.layer(2) == (4, 5)
+        assert dag.layer(3) == (6, 7, 8)
         assert dag.num_layers == 4
 
     def test_g5_and_g6_depend_on_g3(self):
@@ -109,6 +109,19 @@ class TestDagBasics:
         dag = DependencyDAG(paper_fig2_circuit())
         seen = [i for layer in dag.layers() for i in layer]
         assert sorted(seen) == list(range(9))
+
+    def test_layers_are_cached_immutable_tuples(self):
+        # layers()/layer() hand out the DAG's own frozen groups: no
+        # per-call copy (same object every time), and no way for a
+        # caller to mutate the DAG through the return value.
+        dag = DependencyDAG(paper_fig2_circuit())
+        assert dag.layers() is dag.layers()
+        assert dag.layer(0) is dag.layer(0)
+        with pytest.raises((TypeError, AttributeError)):
+            dag.layers()[0].append(99)
+        with pytest.raises(TypeError):
+            dag.layer(0)[0] = 99
+        assert dag.layer(0) == (0, 1, 3)
 
 
 class TestOrderValidation:

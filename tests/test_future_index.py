@@ -1,0 +1,492 @@
+"""Property suite for the future-gate index (the compiler's hot path).
+
+The :class:`~repro.compiler.future_index.FutureGateIndex` replaces the
+per-decision rescan of the whole pending tail with per-ion gate-list
+walks.  The engine's contract is *bit-identity*: indexed move scores,
+eviction picks, Algorithm-1 re-order candidates and final schedules
+must equal the tail scan's exactly, for every policy, proximity metric
+and proximity cutoff.  This suite holds it to that on random circuits
+over linear/ring/grid machines, comparing three implementations:
+
+* the naive reference scan kept *in this test* (a frozen copy of the
+  pre-index stream algorithm, immune to future refactors of the
+  library's own fallback),
+* the library's plain-iterable path (what external callers get),
+* the indexed path through a :class:`FutureView`.
+
+It also pins the memoization contract: one scoring pass per cross-trap
+decision (``favoured`` + ``decide`` share the per-(gate, mapping-epoch)
+memo), with the counter-based regression test the re-decision double
+scan used to evade.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.arch import grid_machine, linear_machine, ring_machine
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import DependencyDAG
+from repro.compiler import CompilerConfig
+from repro.compiler.compiler import QCCDCompiler
+from repro.compiler.future_index import FutureGateIndex
+from repro.compiler.mapping import greedy_initial_mapping
+from repro.compiler.policies import FutureOpsPolicy, MoveScores
+from repro.compiler.rebalance import max_score_with_value
+from repro.compiler.reorder import find_reorder_candidate
+from repro.compiler.state import CompilerState
+from repro.compiler.config import (
+    DEFAULT_WEIGHT_DEST,
+    DEFAULT_WEIGHT_SOURCE,
+    TIE_WEIGHT_DEST,
+    TIE_WEIGHT_SOURCE,
+)
+
+MACHINES = {
+    "linear": lambda: linear_machine(4, capacity=4, comm_capacity=1),
+    "ring": lambda: ring_machine(5, capacity=4, comm_capacity=1),
+    "grid": lambda: grid_machine(2, 3, capacity=4, comm_capacity=1),
+}
+
+PROXIMITIES = (0, 3, 6, None)
+
+
+def random_circuit(rng: random.Random, num_qubits: int, num_gates: int):
+    circuit = Circuit(num_qubits, name=f"fidx-{num_qubits}q")
+    for _ in range(num_gates):
+        if rng.random() < 0.2:
+            circuit.add("x", rng.randrange(num_qubits))
+        else:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.add("ms", a, b)
+    return circuit
+
+
+def reference_move_scores(
+    policy, ion_a, ion_b, state, stream, active_layer
+) -> MoveScores:
+    """The pre-index stream scan, frozen verbatim as the test oracle."""
+    trap_a = state.trap_of(ion_a)
+    trap_b = state.trap_of(ion_b)
+    score_ab = 0.0
+    score_ba = 0.0
+    use_layers = policy.proximity_metric == "layers"
+    use_decay = policy.score_decay < 1.0
+    last_relevant_layer = active_layer
+    gap = 0
+    for gate, layer in stream:
+        if not gate.is_two_qubit:
+            continue
+        qubits = gate.qubits
+        a_in = ion_a in qubits
+        b_in = ion_b in qubits
+        if not a_in and not b_in:
+            if policy.proximity is None:
+                continue
+            if use_layers:
+                if (
+                    last_relevant_layer is not None
+                    and layer - last_relevant_layer > policy.proximity
+                ):
+                    break
+            else:
+                gap += 1
+                if gap > policy.proximity:
+                    break
+            continue
+        if (
+            policy.proximity is not None
+            and use_layers
+            and last_relevant_layer is not None
+            and layer - last_relevant_layer > policy.proximity
+        ):
+            break
+        last_relevant_layer = layer
+        gap = 0
+        weight = 1.0
+        if use_decay and active_layer is not None:
+            weight = policy.score_decay ** max(0, layer - active_layer)
+        for ion, present in ((ion_a, a_in), (ion_b, b_in)):
+            if not present:
+                continue
+            partner = qubits[0] if qubits[1] == ion else qubits[1]
+            partner_trap = state.trap_of(partner)
+            if partner_trap == trap_b:
+                score_ab += weight
+            if partner_trap == trap_a:
+                score_ba += weight
+    return MoveScores(a_to_b=score_ab, b_to_a=score_ba)
+
+
+class Harness:
+    """A mid-compile snapshot: prefix executed, everything else pending."""
+
+    def __init__(self, rng, machine, num_qubits, num_gates):
+        self.circuit = random_circuit(rng, num_qubits, num_gates)
+        self.dag = DependencyDAG(self.circuit)
+        self.pending = self.dag.topological_order()
+        self.index = FutureGateIndex(
+            self.dag, self.pending, self.circuit.num_qubits
+        )
+        chains = greedy_initial_mapping(self.circuit, machine)
+        self.state = CompilerState(machine, chains)
+        self.executed: set[int] = set()
+        self.pos = 0
+
+    def advance(self, count: int) -> None:
+        """Mark the next ``count`` pending gates executed (placement is
+        left untouched — scoring only reads the current mapping)."""
+        count = min(count, len(self.pending) - self.pos)
+        for _ in range(count):
+            node = self.pending[self.pos]
+            self.executed.add(node)
+            self.index.mark_executed(
+                node, self.dag.gate(node).is_two_qubit
+            )
+            self.pos += 1
+
+    def stream(self, start: int, exclude: int | None = None):
+        return [
+            (self.dag.gate(node), self.dag.layer_of(node))
+            for node in self.pending[start:]
+            if node != exclude
+        ]
+
+    def rank_at(self, start: int) -> int:
+        return sum(
+            1
+            for node in self.pending[:start]
+            if self.dag.gate(node).is_two_qubit
+        )
+
+    def view(self, start: int, exclude: int | None = None):
+        return self.index.view(start, self.rank_at(start), exclude)
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("metric", ["layers", "gates"])
+def test_indexed_move_scores_bit_identical(machine_name, metric):
+    rng = random.Random(zlib.crc32(f"scores/{machine_name}/{metric}".encode()))
+    machine = MACHINES[machine_name]()
+    for proximity in PROXIMITIES:
+        for decay in (1.0, 0.75):
+            policy = FutureOpsPolicy(
+                proximity=proximity,
+                proximity_metric=metric,
+                score_decay=decay,
+            )
+            harness = Harness(
+                rng, machine, rng.randint(6, machine.load_capacity), 45
+            )
+            while harness.pos < len(harness.pending) - 1:
+                start = harness.pos
+                active = harness.pending[start]
+                active_layer = harness.dag.layer_of(active)
+                ions = sorted(
+                    {
+                        q
+                        for node in harness.pending[start:]
+                        for q in harness.dag.gate(node).qubits
+                    }
+                )
+                pairs = [
+                    (a, b)
+                    for a in ions
+                    for b in ions
+                    if a < b and not harness.state.co_located(a, b)
+                ]
+                for ion_a, ion_b in rng.sample(pairs, min(4, len(pairs))):
+                    expected = reference_move_scores(
+                        policy,
+                        ion_a,
+                        ion_b,
+                        harness.state,
+                        harness.stream(start),
+                        active_layer,
+                    )
+                    via_iterable = policy.move_scores(
+                        ion_a,
+                        ion_b,
+                        harness.state,
+                        iter(harness.stream(start)),
+                        active_layer,
+                    )
+                    via_index = policy.move_scores(
+                        ion_a,
+                        ion_b,
+                        harness.state,
+                        harness.view(start),
+                        active_layer,
+                    )
+                    assert via_iterable == expected
+                    assert via_index == expected, (
+                        machine_name,
+                        metric,
+                        proximity,
+                        decay,
+                        (ion_a, ion_b),
+                    )
+                harness.advance(rng.randint(1, 6))
+
+
+def reference_eviction_counts(
+    state, eligible, source_trap, destination_trap, stream, window
+):
+    """Frozen copy of the stream-scan eviction counting."""
+    from repro.compiler.state import CompilationError
+
+    dest_count = {ion: 0 for ion in eligible}
+    source_count = {ion: 0 for ion in eligible}
+    seen = 0
+    for gate, _layer in stream:
+        if not gate.is_two_qubit:
+            continue
+        seen += 1
+        if seen > window:
+            break
+        q0, q1 = gate.qubits
+        for ion, partner in ((q0, q1), (q1, q0)):
+            if ion not in dest_count:
+                continue
+            try:
+                partner_trap = state.trap_of(partner)
+            except CompilationError:
+                continue
+            if partner_trap == destination_trap:
+                dest_count[ion] += 1
+            elif partner_trap == source_trap:
+                source_count[ion] += 1
+    return dest_count, source_count
+
+
+def reference_max_score(state, source, destination, pinned, stream, window):
+    eligible = [i for i in state.chains[source] if i not in pinned]
+    dest_count, source_count = reference_eviction_counts(
+        state, eligible, source, destination, stream, window
+    )
+    best_ion = eligible[0]
+    best_score = float("-inf")
+    for ion in eligible:
+        dest = dest_count[ion]
+        src = source_count[ion]
+        if dest == src:
+            score = TIE_WEIGHT_DEST * dest - TIE_WEIGHT_SOURCE * src
+        else:
+            score = DEFAULT_WEIGHT_DEST * dest - DEFAULT_WEIGHT_SOURCE * src
+        if score > best_score:
+            best_score = score
+            best_ion = ion
+    return best_ion, best_score
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+def test_indexed_eviction_pick_bit_identical(machine_name):
+    rng = random.Random(zlib.crc32(f"evict/{machine_name}".encode()))
+    machine = MACHINES[machine_name]()
+    for trial in range(3):
+        harness = Harness(
+            rng, machine, rng.randint(6, machine.load_capacity), 40
+        )
+        while harness.pos < len(harness.pending) - 1:
+            start = harness.pos
+            occupied = [
+                t
+                for t in range(machine.num_traps)
+                if harness.state.chains[t]
+            ]
+            for window in (1, 5, 64):
+                source = rng.choice(occupied)
+                destination = rng.choice(
+                    [t for t in range(machine.num_traps) if t != source]
+                )
+                chain = harness.state.chains[source]
+                pinned = frozenset(
+                    rng.sample(chain, min(len(chain) - 1, 1))
+                )
+                expected = reference_max_score(
+                    harness.state,
+                    source,
+                    destination,
+                    pinned,
+                    harness.stream(start),
+                    window,
+                )
+                via_iterable = max_score_with_value(
+                    harness.state,
+                    source,
+                    destination,
+                    pinned,
+                    harness.stream(start),
+                    window,
+                )
+                via_index = max_score_with_value(
+                    harness.state,
+                    source,
+                    destination,
+                    pinned,
+                    harness.view(start),
+                    window,
+                )
+                assert via_iterable == expected
+                assert via_index == expected, (machine_name, trial, window)
+            harness.advance(rng.randint(2, 7))
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("metric", ["layers", "gates"])
+def test_indexed_reorder_candidates_bit_identical(machine_name, metric):
+    rng = random.Random(zlib.crc32(f"reorder/{machine_name}/{metric}".encode()))
+    machine = MACHINES[machine_name]()
+    for proximity in PROXIMITIES:
+        policy = FutureOpsPolicy(proximity=proximity, proximity_metric=metric)
+        harness = Harness(
+            rng, machine, rng.randint(6, machine.load_capacity), 40
+        )
+        checked = 0
+        while harness.pos < len(harness.pending) - 1:
+            active_pos = harness.pos
+
+            def decide(gate, upcoming, layer):
+                return policy.favoured(gate, harness.state, upcoming, layer)
+
+            for old_destination in range(machine.num_traps):
+                naive = find_reorder_candidate(
+                    harness.pending,
+                    active_pos,
+                    harness.executed,
+                    harness.dag,
+                    harness.state,
+                    decide,
+                    old_destination,
+                )
+                indexed = find_reorder_candidate(
+                    harness.pending,
+                    active_pos,
+                    harness.executed,
+                    harness.dag,
+                    harness.state,
+                    decide,
+                    old_destination,
+                    future=harness.index,
+                )
+                assert naive == indexed, (
+                    machine_name,
+                    metric,
+                    proximity,
+                    old_destination,
+                    active_pos,
+                )
+                checked += 1
+            harness.advance(rng.randint(1, 5))
+        assert checked > 0
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize(
+    "policy_name", ["excess-capacity", "future-ops"]
+)
+def test_full_compilation_bit_identical(machine_name, policy_name):
+    """End-to-end: the indexed compiler's every output equals the
+    reference tail-scanning compiler's, over both proximity metrics,
+    all cutoffs, re-ordering, cheap eviction and chain-order modes."""
+    rng = random.Random(zlib.crc32(f"full/{machine_name}/{policy_name}".encode()))
+    machine = MACHINES[machine_name]()
+    variants = []
+    if policy_name == "excess-capacity":
+        variants.append(CompilerConfig.baseline())
+        variants.append(
+            CompilerConfig.baseline().variant(
+                reorder=True, rebalance="nearest", ion_selection="max-score"
+            )
+        )
+    else:
+        for metric in ("layers", "gates"):
+            for proximity in PROXIMITIES:
+                variants.append(
+                    CompilerConfig.optimized().variant(
+                        proximity=proximity, proximity_metric=metric
+                    )
+                )
+        variants.append(CompilerConfig.optimized().variant(cheap_evict=True))
+        variants.append(
+            CompilerConfig.optimized().variant(track_chain_order=True)
+        )
+        variants.append(CompilerConfig.optimized().variant(score_decay=0.8))
+    for config in variants:
+        num_qubits = rng.randint(6, machine.load_capacity)
+        circuit = random_circuit(rng, num_qubits, rng.randint(25, 60))
+        chains = greedy_initial_mapping(circuit, machine)
+        indexed = QCCDCompiler(machine, config).compile(
+            circuit, initial_chains=chains
+        )
+        reference = QCCDCompiler(
+            machine, config, use_future_index=False
+        ).compile(circuit, initial_chains=chains)
+        assert list(indexed.schedule) == list(reference.schedule), config
+        assert indexed.gate_order == reference.gate_order
+        assert indexed.num_reorders == reference.num_reorders
+        assert indexed.num_rebalances == reference.num_rebalances
+        assert indexed.final_chains == reference.final_chains
+
+
+class TestScoringMemo:
+    """The shared per-(gate, mapping-epoch) memo: one scoring pass per
+    decision, where the pre-index compiler paid two (``favoured`` in
+    the main loop plus ``decide``, and a third on the cheap-eviction
+    margin check)."""
+
+    def _compile(self, config):
+        rng = random.Random(zlib.crc32(b"memo"))
+        machine = linear_machine(4, capacity=4, comm_capacity=1)
+        circuit = random_circuit(rng, machine.load_capacity - 2, 60)
+        compiler = QCCDCompiler(machine, config)
+        compiler.compile(circuit)
+        return compiler._last_future_index
+
+    def test_one_scoring_pass_per_decision(self):
+        index = self._compile(
+            CompilerConfig.optimized().variant(
+                reorder=False, cheap_evict=False
+            )
+        )
+        assert index.num_decision_points > 0
+        assert index.num_score_passes == index.num_decision_points
+
+    def test_margin_check_rides_the_same_memo(self):
+        # cheap_evict adds a _score_margin call per full-destination
+        # event; an eviction in between legitimately re-scores (the
+        # mapping changed), so the bound is two passes per decision.
+        index = self._compile(
+            CompilerConfig.optimized().variant(
+                reorder=False, cheap_evict=True
+            )
+        )
+        assert index.num_decision_points > 0
+        assert (
+            index.num_score_passes <= 2 * index.num_decision_points
+        )
+
+    def test_baseline_policy_never_scores(self):
+        index = self._compile(CompilerConfig.baseline())
+        assert index.num_decision_points > 0
+        assert index.num_score_passes == 0
+
+
+class TestIndexInvariants:
+    def test_rejects_non_monotone_pending(self):
+        circuit = Circuit(3).add("ms", 0, 1).add("ms", 0, 2)
+        dag = DependencyDAG(circuit)
+        with pytest.raises(ValueError, match="layer-monotone"):
+            FutureGateIndex(dag, [1, 0], circuit.num_qubits)
+
+    def test_view_iteration_matches_stream(self):
+        rng = random.Random(zlib.crc32(b"view-iter"))
+        machine = ring_machine(5, capacity=4, comm_capacity=1)
+        harness = Harness(rng, machine, 8, 30)
+        harness.advance(5)
+        exclude = harness.pending[harness.pos + 2]
+        view = harness.view(harness.pos, exclude=exclude)
+        assert [
+            (gate, layer) for gate, layer in view
+        ] == harness.stream(harness.pos, exclude=exclude)
