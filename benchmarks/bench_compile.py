@@ -60,6 +60,12 @@ NO_WORSE_SLACK = float(os.environ.get("REPRO_BENCH_SLACK", "1.25"))
 #: (the pre-index compiler that rescanned the pending tail per decision).
 MIN_COMPILE_SPEEDUP = 2.5
 
+#: Multiplicative bound on the observability no-op fast path: compiling
+#: with instrumentation present-but-disabled may cost at most this
+#: factor over the same suite measured back to back (ISSUE: ≤5%).
+#: Widen via ``REPRO_OBS_SLACK`` on noisy shared runners.
+OBS_SLACK = float(os.environ.get("REPRO_OBS_SLACK", "1.05"))
+
 PHASES = ("compile", "optimize", "simulate")
 
 
@@ -212,3 +218,89 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
             f"required {MIN_COMPILE_SPEEDUP:.1f}x over "
             f"{previous.get('label', 'the superseded baseline')}"
         )
+
+
+def test_obs_disabled_overhead_and_enabled_inertness(machine):
+    """The telemetry spine must be free when off and inert when on.
+
+    * **Overhead gate** — compiling the suite after an
+      ``obs.enable()``/``obs.disable()`` cycle ("traced-off") must cost
+      within :data:`OBS_SLACK` of the same suite compiled with
+      observability never enabled ("untraced"): disabling must restore
+      the exact no-op fast path.  Minima of interleaved A/B repetitions
+      are compared so host drift hits both sides equally.
+    * **Inertness gate** — with observability (and tracing) *on*, every
+      compiled schedule's content fingerprint is bit-identical to the
+      obs-off compile, and still matches the committed baseline
+      recording where one exists.
+    """
+    from repro import obs
+    from repro.batch.fingerprint import fingerprint
+    from repro.bench.suite import paper_suite
+    from repro.compiler.compiler import QCCDCompiler
+    from repro.compiler.config import CompilerConfig
+    from repro.compiler.mapping import greedy_initial_mapping
+
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_fingerprints = {
+        row["circuit"]: row["schedule_fingerprint"]
+        for row in baseline.get("results", ())
+        if "schedule_fingerprint" in row
+    }
+
+    compiler = QCCDCompiler(machine, CompilerConfig.optimized())
+    circuits = paper_suite(full=False)
+    chains = {
+        circuit.name: greedy_initial_mapping(circuit, machine)
+        for circuit in circuits
+    }
+
+    def compile_suite() -> float:
+        start = time.perf_counter()
+        for circuit in circuits:
+            compiler.compile(circuit, initial_chains=chains[circuit.name])
+        return time.perf_counter() - start
+
+    # Reference fingerprints, observability off (also the warm-up).
+    off_fingerprints = {}
+    for circuit in circuits:
+        result = compiler.compile(
+            circuit, initial_chains=chains[circuit.name]
+        )
+        off_fingerprints[circuit.name] = fingerprint(list(result.schedule))
+
+    assert obs.active() is None
+    untraced = [compile_suite() for _ in range(REPEATS)]
+    obs.enable(trace=True)
+    obs.disable()
+    traced_off = [compile_suite() for _ in range(REPEATS)]
+    # Interleave one more A/B pair to damp one-sided host drift.
+    untraced.append(compile_suite())
+    obs.enable(trace=True)
+    obs.disable()
+    traced_off.append(compile_suite())
+
+    untraced_s, traced_off_s = min(untraced), min(traced_off)
+    assert traced_off_s <= untraced_s * OBS_SLACK, (
+        f"disabled observability is not free: {traced_off_s:.4f}s "
+        f"traced-off vs {untraced_s:.4f}s untraced "
+        f"(> {(OBS_SLACK - 1) * 100:.0f}% overhead)"
+    )
+
+    with obs.observe(trace=True):
+        for circuit in circuits:
+            result = compiler.compile(
+                circuit, initial_chains=chains[circuit.name]
+            )
+            fp = fingerprint(list(result.schedule))
+            assert fp == off_fingerprints[circuit.name], (
+                f"observability changed the schedule of {circuit.name}"
+            )
+            expected = baseline_fingerprints.get(circuit.name)
+            if expected is not None:
+                assert fp == expected, (
+                    f"traced compile of {circuit.name} drifted from "
+                    "the committed baseline recording"
+                )
+    assert obs.active() is None

@@ -7,11 +7,17 @@ away.  It is how the future-gate-index PR found that 92% of compile
 wall time was the per-decision pending-tail rescans — and how the next
 perf PR should find its target::
 
-    PYTHONPATH=src python benchmarks/profile_compile.py                 # full reduced suite
-    PYTHONPATH=src python benchmarks/profile_compile.py --circuit QFT   # one benchmark
-    PYTHONPATH=src python benchmarks/profile_compile.py --top 40 --sort tottime
-    PYTHONPATH=src python benchmarks/profile_compile.py --baseline      # [7]'s config
-    PYTHONPATH=src python benchmarks/profile_compile.py --no-index      # reference scan path
+    python benchmarks/profile_compile.py                 # full reduced suite
+    python benchmarks/profile_compile.py --circuit QFT   # one benchmark
+    python benchmarks/profile_compile.py --top 40 --sort tottime
+    python benchmarks/profile_compile.py --baseline      # [7]'s config
+    python benchmarks/profile_compile.py --no-index      # reference scan path
+    python benchmarks/profile_compile.py --json profile.json
+
+With ``repro`` installed (``pip install -e .``) no ``PYTHONPATH`` is
+needed; an uninstalled source checkout falls back to ``../src``
+relative to this file.  ``--json`` writes the top-N rows (by the
+chosen sort key) as machine-readable records for trend tracking.
 
 Circuit names match the paper suite (``Supremacy``, ``QAOA``,
 ``SquareRoot``, ``QFT``, ``QuadraticForm``, ``Random-<n>q-<i>``);
@@ -23,11 +29,17 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import os
 import pstats
 import sys
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+try:  # prefer the installed package; dev checkouts fall back to ../src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - environment-dependent
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "src")
+    )
 
 
 def build_machine(spec: str):
@@ -49,6 +61,41 @@ def build_machine(spec: str):
         rows, _, cols = arg.partition("x")
         return grid_machine(int(rows), int(cols))
     raise SystemExit(f"unknown machine spec {spec!r}")
+
+
+def top_entries(
+    stats: pstats.Stats, sort: str, top: int
+) -> list[dict]:
+    """The top-N profile rows as JSON-able records.
+
+    ``stats.stats`` maps ``(file, line, func)`` to
+    ``(primitive_calls, calls, tottime, cumtime, callers)``; rows are
+    ranked by the same key the text report would sort on.
+    """
+    key = {"cumulative": 3, "tottime": 2, "ncalls": 1}[sort]
+    rows = sorted(
+        stats.stats.items(),
+        key=lambda item: item[1][key],
+        reverse=True,
+    )
+    return [
+        {
+            "function": func,
+            "file": filename,
+            "line": line,
+            "ncalls": calls,
+            "primitive_calls": primitive,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        }
+        for (filename, line, func), (
+            primitive,
+            calls,
+            tottime,
+            cumtime,
+            _callers,
+        ) in rows[:top]
+    ]
 
 
 def main() -> None:
@@ -80,6 +127,12 @@ def main() -> None:
         "--no-index",
         action="store_true",
         help="profile the reference tail-scanning path (use_future_index=False)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the top-N rows as JSON (use '-' for stdout)",
     )
     args = parser.parse_args()
 
@@ -118,11 +171,27 @@ def main() -> None:
     label = ", ".join(c.name for c in circuits[:5])
     if len(circuits) > 5:
         label += f", ... ({len(circuits)} circuits)"
+    stats = pstats.Stats(profile)
+    if args.json is not None:
+        document = {
+            "config": config.name,
+            "machine": machine.name,
+            "circuits": [c.name for c in circuits],
+            "repeat": args.repeat,
+            "sort": args.sort,
+            "entries": top_entries(stats, args.sort, args.top),
+        }
+        if args.json == "-":
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+            return
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote {args.json}")
     print(
         f"# {config.name} on {machine.name} — {label} — "
         f"top {args.top} by {args.sort}\n"
     )
-    stats = pstats.Stats(profile)
     stats.sort_stats(args.sort).print_stats(args.top)
 
 

@@ -65,6 +65,13 @@ from .core import (
     MachineState,
     OccupancyTraceObserver,
 )
+from .obs import (
+    MetricsRegistry,
+    Observation,
+    SpanRecorder,
+    TraceRecorder,
+)
+from . import obs
 from .passes import (
     OptimizationResult,
     PassManager,
@@ -103,7 +110,9 @@ __all__ = [
     "ResultCache",
     "SweepRecord",
     "MachineParams",
+    "MetricsRegistry",
     "NoiseParams",
+    "Observation",
     "OptimizationResult",
     "PassManager",
     "PassStats",
@@ -112,7 +121,9 @@ __all__ = [
     "Schedule",
     "SimulationReport",
     "Simulator",
+    "SpanRecorder",
     "TimingParams",
+    "TraceRecorder",
     "TrapSpec",
     "TrapTopology",
     "__version__",
@@ -129,6 +140,7 @@ __all__ = [
     "linear_machine",
     "linear_topology",
     "load_qasm",
+    "obs",
     "optimize_schedule",
     "parse_qasm",
     "verify_schedule",

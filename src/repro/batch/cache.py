@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from ..obs import active as _obs_active
+
 
 @dataclass
 class CacheStats:
@@ -56,6 +58,9 @@ class NullCache:
     def get(self, key: str) -> Any | None:
         """Always a miss."""
         self.stats.misses += 1
+        obs = _obs_active()
+        if obs is not None:
+            obs.metrics.inc("cache.misses")
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -84,8 +89,14 @@ class ResultCache:
             # Unreadable, truncated, or stale (e.g. pickled against a
             # renamed class/module) entries are misses, never crashes.
             self.stats.misses += 1
+            obs = _obs_active()
+            if obs is not None:
+                obs.metrics.inc("cache.misses")
             return None
         self.stats.hits += 1
+        obs = _obs_active()
+        if obs is not None:
+            obs.metrics.inc("cache.hits")
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -106,6 +117,9 @@ class ResultCache:
                 pass
             raise
         self.stats.puts += 1
+        obs = _obs_active()
+        if obs is not None:
+            obs.metrics.inc("cache.puts")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -23,19 +23,25 @@ pickling, which every model object supports.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import pickle
 import sys
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
+from time import perf_counter
 
 from ..compiler.compiler import QCCDCompiler
 from ..compiler.mapping import greedy_initial_mapping
 from ..compiler.result import CompilationResult
+from ..obs import active as _obs_active
+from ..obs import collect as _obs_collect
 from ..sim.simulator import SimulationReport, Simulator
 from .cache import CacheStats, NullCache, ResultCache
 from .jobs import CompileJob
+
+logger = logging.getLogger(__name__)
 
 #: Progress callback signature: (done, total, job, result).
 ProgressCallback = Callable[[int, int, CompileJob, "JobResult"], None]
@@ -55,6 +61,11 @@ class JobResult:
     #: ``error`` always carries the formatted traceback regardless.
     exception: Exception | None = None
     cache_hit: bool = False
+    #: Worker-side metrics snapshot (:meth:`MetricsRegistry.snapshot`)
+    #: when the job ran under an active observation; merged into the
+    #: parent registry by the runner and stripped before caching and
+    #: fan-out, so cached and fresh results compare equal.
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -81,15 +92,43 @@ def execute_job(job: CompileJob) -> tuple[CompilationResult, SimulationReport | 
     )
     report = None
     if job.simulate:
-        report = Simulator(job.machine, job.params).run(
-            result.schedule, result.initial_chains
-        )
+        obs = _obs_active()
+        if obs is None:
+            report = Simulator(job.machine, job.params).run(
+                result.schedule, result.initial_chains
+            )
+        else:
+            t_sim = perf_counter()
+            report = Simulator(job.machine, job.params).run(
+                result.schedule, result.initial_chains
+            )
+            obs.metrics.observe(
+                "phase.simulate_seconds", perf_counter() - t_sim
+            )
     return result, report
 
 
-def _execute_indexed(payload: tuple[int, CompileJob, str]) -> JobResult:
-    """Pool worker: run one job, capturing any failure as a record."""
-    index, job, key = payload
+def _execute_indexed(
+    payload: tuple[int, CompileJob, str, bool],
+) -> JobResult:
+    """Pool worker: run one job, capturing any failure as a record.
+
+    ``observed`` payloads run under :func:`repro.obs.collect`, which
+    routes metrics into a fresh registry whose snapshot travels back
+    with the result — the same protocol in-process and across the
+    pool, so serial and parallel sweeps aggregate identically.
+    """
+    index, job, key, observed = payload
+    if not observed:
+        return _execute_one(index, job, key)
+    with _obs_collect() as registry:
+        t_job = perf_counter()
+        job_result = _execute_one(index, job, key)
+        registry.observe("batch.job_seconds", perf_counter() - t_job)
+        return replace(job_result, metrics=registry.snapshot())
+
+
+def _execute_one(index: int, job: CompileJob, key: str) -> JobResult:
     try:
         result, report = execute_job(job)
         return JobResult(index, key, result, report)
@@ -157,12 +196,16 @@ class BatchRunner:
 
         # Cache pass: satisfy what we can before touching the pool, and
         # collapse identical jobs so each fingerprint compiles once.
+        obs = _obs_active()
+        observed = obs is not None
         pending: dict[str, list[int]] = {}
-        to_run: list[tuple[int, CompileJob, str]] = []
+        to_run: list[tuple[int, CompileJob, str, bool]] = []
         for index, job in enumerate(jobs):
             key = job.fingerprint()
             if key in pending:
                 self.deduplicated += 1
+                if obs is not None:
+                    obs.metrics.inc("batch.deduplicated")
                 pending[key].append(index)
                 continue
             cached = self.cache.get(key)
@@ -173,7 +216,17 @@ class BatchRunner:
                 )
                 continue
             pending[key] = [index]
-            to_run.append((index, job, key))
+            to_run.append((index, job, key, observed))
+
+        if obs is not None:
+            obs.metrics.inc("batch.jobs", total)
+        logger.debug(
+            "batch: %d jobs -> %d to run (%d cached, %d deduplicated)",
+            total,
+            len(to_run),
+            done,
+            total - done - len(to_run),
+        )
 
         if to_run:
             if self.n_jobs == 1 or len(to_run) == 1:
@@ -207,6 +260,13 @@ class BatchRunner:
         resolve: Callable[[int, JobResult], None],
     ) -> None:
         """Store a fresh result and fan it out to duplicate indices."""
+        if job_result.metrics is not None:
+            obs = _obs_active()
+            if obs is not None:
+                # Merge once per fresh result (before fan-out) so
+                # duplicates and cache hits never double-count.
+                obs.metrics.merge(job_result.metrics)
+            job_result = replace(job_result, metrics=None)
         if job_result.ok:
             self.cache.put(
                 job_result.fingerprint, replace(job_result, job_index=-1)

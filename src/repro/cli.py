@@ -18,9 +18,12 @@ random ensemble.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 
-from . import __version__
+from . import __version__, obs
+from .obs.report import render_report
 from .arch.presets import grid_machine, l6_machine, linear_machine, ring_machine
 from .batch.cache import NullCache, ResultCache
 from .batch.jobs import sweep
@@ -44,6 +47,29 @@ from .passes import PassManager, available_passes, resolve_pass_names
 from .sim.simulator import Simulator
 from .viz.timeline import schedule_summary, shuttle_trace, timeline_diff
 from .viz.trapview import render_chains, render_topology
+
+logger = logging.getLogger(__name__)
+
+
+def _setup_logging(verbose: bool, quiet: bool) -> None:
+    """One root logging configuration for the whole CLI.
+
+    Diagnostics (sweep progress, batch internals) go through module
+    loggers to stderr; stdout stays reserved for the actual reports.
+    ``force=True`` rebinds handlers to the *current* stderr on every
+    invocation, so repeated in-process calls (tests) stay capturable.
+    """
+    level = logging.INFO
+    if quiet:
+        level = logging.WARNING
+    if verbose:
+        level = logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
 
 _BENCHMARKS = {
     "supremacy": supremacy_circuit,
@@ -365,10 +391,18 @@ def _cmd_sweep(args) -> int:
             status = f"{job_result.result.num_shuttles} shuttles (cached)"
         else:
             status = f"{job_result.result.num_shuttles} shuttles"
-        print(f"[{done}/{total}] {job.label}: {status}")
+        logger.info("[%d/%d] %s: %s", done, total, job.label, status)
 
     runner = BatchRunner(n_jobs=args.jobs, cache=cache, progress=progress)
-    job_results = runner.run(jobs)
+    # The sweep always runs observed (metrics only): the summary's cache
+    # and per-phase lines read from the registry.  An observation that
+    # is already active (--metrics-out) is reused rather than replaced.
+    observation = obs.active()
+    if observation is not None:
+        job_results = runner.run(jobs)
+    else:
+        with obs.observe() as observation:
+            job_results = runner.run(jobs)
     records = build_records(jobs, job_results)
 
     headers = [
@@ -410,8 +444,25 @@ def _cmd_sweep(args) -> int:
         rows.append(cells)
     print()
     print(render_table(headers, rows))
-    if not args.no_cache:
+    if args.no_cache:
+        print("\ncache: disabled (--no-cache)")
+    else:
         print(f"\ncache: {runner.cache_stats} at {args.cache_dir}")
+    metrics = observation.metrics
+    phases = [
+        (label, metrics.total(name))
+        for label, name in (
+            ("compile", "phase.compile_seconds"),
+            ("optimize", "phase.optimize_seconds"),
+            ("simulate", "phase.simulate_seconds"),
+        )
+        if name in metrics.histograms
+    ]
+    if phases:
+        print(
+            "phases: "
+            + "  ".join(f"{label} {secs:.2f}s" for label, secs in phases)
+        )
     failures = [r for r in records if not r.ok]
     if failures:
         print(f"\n{len(failures)} job(s) failed:")
@@ -425,6 +476,40 @@ def _cmd_sweep(args) -> int:
         write_json(records, args.json)
         print(f"wrote {args.json}")
     return 1 if failures else 0
+
+
+def _cmd_trace(args) -> int:
+    """Compile one benchmark under full observability and report the
+    span tree, the metrics registry and the decision-event stream."""
+    machine = _machine_from_args(args)
+    circuit = _parse_benchmark(args.benchmark)
+    config = (
+        CompilerConfig.baseline()
+        if args.config == "baseline"
+        else CompilerConfig.optimized()
+    )
+    passes = _parse_pass_list(args.passes)
+    if passes:
+        config = config.variant(post_passes=passes)
+    from .compiler.compiler import compile_circuit
+
+    with obs.observe(trace=True) as observation:
+        result = compile_circuit(circuit, machine, config)
+
+    if args.jsonl:
+        count = observation.trace.write_jsonl(args.jsonl)
+        logger.info("wrote %d events to %s", count, args.jsonl)
+    if args.json:
+        document = obs.export_json(observation)
+        document["events"] = observation.trace.events
+        print(json.dumps(document, indent=2))
+        return 0
+    title = (
+        f"trace: {circuit.name} [{config.name}] on {machine.name}\n"
+        f"  {result.summary()}"
+    )
+    print(render_report(observation, title, events=args.events))
+    return 0
 
 
 def _cmd_info(args) -> int:
@@ -463,6 +548,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress diagnostics (warnings only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, doc in (
@@ -495,6 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list of post-compilation passes applied to both "
         "configs ('default' = full pipeline; see 'repro info')",
     )
+    _add_metrics_out(p)
     p.set_defaults(handler=_cmd_compile)
 
     p = sub.add_parser(
@@ -531,7 +629,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print the first N lines of the before/after timeline diff",
     )
+    _add_metrics_out(p)
     p.set_defaults(handler=_cmd_optimize)
+
+    p = sub.add_parser(
+        "trace",
+        help="compile one benchmark with observability on and report "
+        "phase spans, metrics and decision events",
+    )
+    p.add_argument(
+        "benchmark",
+        help=f"one of {sorted(_BENCHMARKS)} or 'random[:Q[:G[:S]]]'",
+    )
+    p.add_argument(
+        "--machine",
+        default="l6",
+        help="machine preset: l6 (default), linearN, ringN, gridRxC",
+    )
+    p.add_argument(
+        "--config",
+        default="optimized",
+        choices=["baseline", "optimized"],
+        help="compiler configuration to trace",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="comma list of post-compilation passes ('default' = full "
+        "pipeline; see 'repro info')",
+    )
+    p.add_argument(
+        "--events",
+        type=int,
+        default=12,
+        metavar="N",
+        help="decision events shown in the text report (default 12)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the whole observation (metrics, spans, events) as "
+        "JSON on stdout instead of the text report",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="additionally write the decision-event stream as JSON Lines",
+    )
+    p.set_defaults(handler=_cmd_trace)
 
     p = sub.add_parser(
         "sweep",
@@ -596,15 +742,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the expanded job list without compiling",
     )
+    _add_metrics_out(p)
     p.set_defaults(handler=_cmd_sweep)
 
     return parser
 
 
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="run under observability and write the metrics registry "
+        "and span tree as JSON to PATH",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    _setup_logging(args.verbose, args.quiet)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return args.handler(args)
+    with obs.observe() as observation:
+        code = args.handler(args)
+    with open(metrics_out, "w", encoding="utf-8") as handle:
+        json.dump(obs.export_json(observation), handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {metrics_out}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

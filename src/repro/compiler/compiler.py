@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from contextlib import nullcontext
 
 from ..arch.machine import QCCDMachine
 from ..circuits.circuit import Circuit
 from ..circuits.dag import DependencyDAG
+from ..obs import active as _obs_active
 from ..sim.ops import GateOp, ShuttleReason
 from ..sim.params import DEFAULT_PARAMS, MachineParams
 from ..sim.schedule import Schedule
@@ -111,6 +113,35 @@ class QCCDCompiler:
         )
         return abs(scores.a_to_b - scores.b_to_a)
 
+    def _trace_consideration(
+        self, obs, gate, state, upcoming, layer, pos, favoured
+    ) -> None:
+        """Emit the ``gate_considered`` (+ ``move_scores``) events for a
+        cross-trap two-qubit gate.  Trace-only path: the extra
+        ``move_scores`` call rides the index memo populated by the
+        ``favoured`` call just made, so it costs a dict lookup."""
+        ion_a, ion_b = gate.qubits
+        trap_a, trap_b = state.trap_of(ion_a), state.trap_of(ion_b)
+        obs.trace.emit(
+            "gate_considered",
+            gate=_gate_label(gate),
+            qubits=[ion_a, ion_b],
+            traps=[trap_a, trap_b],
+            pos=pos,
+            layer=layer,
+        )
+        if hasattr(self._policy, "move_scores"):
+            scores = self._policy.move_scores(
+                ion_a, ion_b, state, upcoming, layer
+            )
+            obs.trace.emit(
+                "move_scores",
+                gate=_gate_label(gate),
+                score_a_to_b=scores.a_to_b,
+                score_b_to_a=scores.b_to_a,
+                favoured_dst=favoured.dst,
+            )
+
     def compile(
         self,
         circuit: Circuit,
@@ -121,7 +152,25 @@ class QCCDCompiler:
         ``initial_chains`` overrides the greedy initial mapping — useful
         for controlled experiments where both compilers must start from
         the identical placement (as the paper's comparison does).
+
+        When observability is enabled (:mod:`repro.obs`), the compile
+        additionally records a ``compile`` phase-span subtree, decision
+        counters, and — with tracing on — per-decision events.  The
+        instrumentation only reads compiler state: the emitted schedule
+        is bit-identical with observability off and on.
         """
+        obs = _obs_active()
+        if obs is None:
+            return self._compile(circuit, initial_chains, None)
+        with obs.spans.span("compile"):
+            return self._compile(circuit, initial_chains, obs)
+
+    def _compile(
+        self,
+        circuit: Circuit,
+        initial_chains: dict[int, list[int]] | None,
+        obs,
+    ) -> CompilationResult:
         start_time = time.perf_counter()
         for gate in circuit:
             if gate.num_qubits > 2:
@@ -148,6 +197,8 @@ class QCCDCompiler:
         if self.use_future_index:
             future = FutureGateIndex(dag, pending, circuit.num_qubits)
         self._last_future_index = future
+        if obs is not None:
+            obs.spans.add("setup", time.perf_counter() - start_time)
 
         def upcoming_from(start: int):
             """Yield (gate, layer) pairs for the pending tail (the
@@ -171,100 +222,160 @@ class QCCDCompiler:
             upcoming_factory=decision_window,
         )
 
-        while pos < len(pending):
-            index = pending[pos]
-            gate = dag.gate(index)
+        loop_span = (
+            obs.spans.span("schedule-gates")
+            if obs is not None
+            else nullcontext()
+        )
+        perf = time.perf_counter
+        with loop_span:
+            while pos < len(pending):
+                index = pending[pos]
+                gate = dag.gate(index)
 
-            if gate.is_one_qubit:
-                schedule.append(
-                    GateOp(gate=gate, trap=state.trap_of(gate.qubits[0]))
-                )
-                executed.add(index)
-                gate_order.append(index)
+                if gate.is_one_qubit:
+                    schedule.append(
+                        GateOp(gate=gate, trap=state.trap_of(gate.qubits[0]))
+                    )
+                    executed.add(index)
+                    gate_order.append(index)
+                    if future is not None:
+                        future.mark_executed(index, False)
+                    pos += 1
+                    continue
+
+                ion_a, ion_b = gate.qubits
+                if state.co_located(ion_a, ion_b):
+                    schedule.append(
+                        GateOp(gate=gate, trap=state.trap_of(ion_a))
+                    )
+                    executed.add(index)
+                    gate_order.append(index)
+                    if future is not None:
+                        future.mark_executed(index, True)
+                    pos += 1
+                    continue
+
+                pinned = frozenset((ion_a, ion_b))
                 if future is not None:
-                    future.mark_executed(index, False)
-                pos += 1
-                continue
+                    future.num_decision_points += 1
+                if obs is not None:
+                    t_decide = perf()
+                favoured = self._policy.favoured(
+                    gate, state, decision_window(), dag.layer_of(index)
+                )
+                if obs is not None:
+                    obs.spans.add("decide", perf() - t_decide)
+                    if obs.trace is not None:
+                        self._trace_consideration(
+                            obs, gate, state, decision_window(),
+                            dag.layer_of(index), pos, favoured,
+                        )
 
-            ion_a, ion_b = gate.qubits
-            if state.co_located(ion_a, ion_b):
-                schedule.append(GateOp(gate=gate, trap=state.trap_of(ion_a)))
+                if state.is_full(favoured.dst):
+                    # Favourable direction not achievable (Section
+                    # III-B): try Algorithm 1 before settling for
+                    # another direction.
+                    if (
+                        self.config.reorder
+                        and reorder_attempts[index]
+                        < self.config.max_reorder_attempts
+                    ):
+                        if obs is not None:
+                            t_reorder = perf()
+                        candidate_pos = find_reorder_candidate(
+                            pending,
+                            pos,
+                            executed,
+                            dag,
+                            state,
+                            decide=lambda g, upcoming, layer: (
+                                self._policy.favoured(
+                                    g, state, upcoming, layer
+                                )
+                            ),
+                            old_destination=favoured.dst,
+                            future=future,
+                        )
+                        if obs is not None:
+                            obs.spans.add("reorder", perf() - t_reorder)
+                        if candidate_pos is not None:
+                            if obs is not None and obs.trace is not None:
+                                candidate_gate = dag.gate(
+                                    pending[candidate_pos]
+                                )
+                                obs.trace.emit(
+                                    "reorder_splice",
+                                    active_gate=_gate_label(gate),
+                                    candidate_gate=_gate_label(
+                                        candidate_gate
+                                    ),
+                                    active_pos=pos,
+                                    candidate_pos=candidate_pos,
+                                )
+                            if future is not None:
+                                future.splice(pos, candidate_pos)
+                            candidate = pending.pop(candidate_pos)
+                            pending.insert(pos, candidate)
+                            reorder_attempts[index] += 1
+                            num_reorders += 1
+                            continue  # the hoisted gate becomes active
+                    if self.config.cheap_evict:
+                        if obs is not None:
+                            t_decide = perf()
+                        score_margin = self._score_margin(
+                            gate, state, decision_window(), dag.layer_of(index)
+                        )
+                        if obs is not None:
+                            obs.spans.add("decide", perf() - t_decide)
+                        if score_margin > 1 and router.cheap_evict(
+                            favoured.dst, pinned
+                        ):
+                            # Favourable destination freed with one
+                            # shuttle; fall through to the guarded
+                            # decision below.
+                            pass
+
+                if obs is not None:
+                    t_decide = perf()
+                decision = self._policy.decide(
+                    gate, state, decision_window(), dag.layer_of(index)
+                )
+                if obs is not None:
+                    obs.spans.add("decide", perf() - t_decide)
+                flipped = False
+                if state.is_full(decision.dst):
+                    flip = ShuttleDecision(
+                        ion=ion_b if decision.ion == ion_a else ion_a,
+                        src=decision.dst,
+                        dst=decision.src,
+                    )
+                    if not state.is_full(flip.dst):
+                        decision = flip
+                        flipped = True
+                    else:
+                        # Both traps full: evict one ion from the chosen
+                        # destination so the gate can proceed.
+                        router.evict_one(decision.dst, pinned)
+                if obs is not None and obs.trace is not None:
+                    obs.trace.emit(
+                        "shuttle_decision",
+                        gate=_gate_label(gate),
+                        ion=decision.ion,
+                        src=decision.src,
+                        dst=decision.dst,
+                        flipped=flipped,
+                    )
+
+                router.route(
+                    decision.ion, decision.dst, ShuttleReason.GATE, pinned
+                )
+                schedule.append(GateOp(gate=gate, trap=decision.dst))
                 executed.add(index)
                 gate_order.append(index)
                 if future is not None:
                     future.mark_executed(index, True)
                 pos += 1
-                continue
-
-            pinned = frozenset((ion_a, ion_b))
-            if future is not None:
-                future.num_decision_points += 1
-            favoured = self._policy.favoured(
-                gate, state, decision_window(), dag.layer_of(index)
-            )
-
-            if state.is_full(favoured.dst):
-                # Favourable direction not achievable (Section III-B):
-                # try Algorithm 1 before settling for another direction.
-                if (
-                    self.config.reorder
-                    and reorder_attempts[index]
-                    < self.config.max_reorder_attempts
-                ):
-                    candidate_pos = find_reorder_candidate(
-                        pending,
-                        pos,
-                        executed,
-                        dag,
-                        state,
-                        decide=lambda g, upcoming, layer: self._policy.favoured(
-                            g, state, upcoming, layer
-                        ),
-                        old_destination=favoured.dst,
-                        future=future,
-                    )
-                    if candidate_pos is not None:
-                        if future is not None:
-                            future.splice(pos, candidate_pos)
-                        candidate = pending.pop(candidate_pos)
-                        pending.insert(pos, candidate)
-                        reorder_attempts[index] += 1
-                        num_reorders += 1
-                        continue  # the hoisted gate is the new active gate
-                if self.config.cheap_evict:
-                    score_margin = self._score_margin(
-                        gate, state, decision_window(), dag.layer_of(index)
-                    )
-                    if score_margin > 1 and router.cheap_evict(
-                        favoured.dst, pinned
-                    ):
-                        # Favourable destination freed with one shuttle;
-                        # fall through to the guarded decision below.
-                        pass
-
-            decision = self._policy.decide(
-                gate, state, decision_window(), dag.layer_of(index)
-            )
-            if state.is_full(decision.dst):
-                flipped = ShuttleDecision(
-                    ion=ion_b if decision.ion == ion_a else ion_a,
-                    src=decision.dst,
-                    dst=decision.src,
-                )
-                if not state.is_full(flipped.dst):
-                    decision = flipped
-                else:
-                    # Both traps full: evict one ion from the chosen
-                    # destination so the gate can proceed.
-                    router.evict_one(decision.dst, pinned)
-
-            router.route(decision.ion, decision.dst, ShuttleReason.GATE, pinned)
-            schedule.append(GateOp(gate=gate, trap=decision.dst))
-            executed.add(index)
-            gate_order.append(index)
-            if future is not None:
-                future.mark_executed(index, True)
-            pos += 1
 
         pass_stats: tuple = ()
         raw_num_shuttles = raw_num_ops = None
@@ -295,6 +406,27 @@ class QCCDCompiler:
                 }
 
         compile_time = time.perf_counter() - start_time
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.inc("compile.circuits")
+            metrics.inc("compile.gates", schedule.num_gates)
+            metrics.inc("compile.shuttles", schedule.num_shuttles)
+            metrics.inc("compile.ops", len(schedule))
+            metrics.inc("compile.reorders", num_reorders)
+            metrics.inc("compile.rebalances", router.num_rebalances)
+            metrics.inc("compile.mapping_epochs", state.epoch)
+            if future is not None:
+                metrics.inc(
+                    "compile.index.decision_points",
+                    future.num_decision_points,
+                )
+                metrics.inc(
+                    "compile.index.score_passes", future.num_score_passes
+                )
+                metrics.inc(
+                    "compile.index.memo_hits", future.num_memo_hits
+                )
+            metrics.observe("phase.compile_seconds", compile_time)
         return CompilationResult(
             circuit_name=circuit.name,
             config_name=self.config.name,
@@ -309,6 +441,11 @@ class QCCDCompiler:
             raw_num_shuttles=raw_num_shuttles,
             raw_num_ops=raw_num_ops,
         )
+
+
+def _gate_label(gate) -> str:
+    """Compact ``name(q0,q1)`` form for trace-event payloads."""
+    return f"{gate.name}({','.join(map(str, gate.qubits))})"
 
 
 def _remap_gate_order(

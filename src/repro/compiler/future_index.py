@@ -129,6 +129,7 @@ class FutureGateIndex:
         "score_memo",
         "memo_epoch",
         "num_score_passes",
+        "num_memo_hits",
         "num_decision_points",
         "_pending",
         "_ion_nodes",
@@ -159,6 +160,8 @@ class FutureGateIndex:
         self.memo_epoch = -1
         #: Actual (memo-missing) move-score computations performed.
         self.num_score_passes = 0
+        #: Move-score queries answered from :attr:`score_memo`.
+        self.num_memo_hits = 0
         #: Cross-trap decision sequences entered by the compiler.
         self.num_decision_points = 0
 

@@ -281,6 +281,7 @@ class FutureOpsPolicy:
         memo_key = (ion_a, ion_b, view.start, view.exclude)
         cached = index.score_memo.get(memo_key)
         if cached is not None:
+            index.num_memo_hits += 1
             return cached
         index.num_score_passes += 1
 

@@ -11,8 +11,10 @@ itself a recursive route.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from time import perf_counter
 
 from ..circuits.gate import Gate
+from ..obs import active as _obs_active
 from ..sim.ops import MergeOp, MoveOp, ShuttleReason, SplitOp, SwapOp
 from ..sim.schedule import Schedule
 from .config import CompilerConfig
@@ -71,6 +73,21 @@ class Router:
         recursive re-balancing moves).  ``pinned`` ions are never chosen
         for eviction (e.g. the stationary partner of the active gate).
         """
+        obs = _obs_active()
+        if obs is None:
+            return self._route(ion, dst, reason, pinned, _depth)
+        # Recursive traffic-block resolutions nest route under route.
+        with obs.spans.span("route"):
+            return self._route(ion, dst, reason, pinned, _depth)
+
+    def _route(
+        self,
+        ion: int,
+        dst: int,
+        reason: ShuttleReason,
+        pinned: frozenset[int],
+        _depth: int = 0,
+    ) -> int:
         src = self.state.trap_of(ion)
         if src == dst:
             return 0
@@ -139,7 +156,7 @@ class Router:
 
     def evict_one(self, full_trap: int, pinned: frozenset[int]) -> None:
         """Public eviction entry point (both-traps-full fallback)."""
-        self._resolve_block(full_trap, pinned, depth=0)
+        self._resolve_block(full_trap, pinned, depth=0, kind="both-full")
 
     def cheap_evict(self, full_trap: int, pinned: frozenset[int]) -> bool:
         """Free ``full_trap`` with a single one-hop eviction if worthwhile.
@@ -161,6 +178,9 @@ class Router:
         if not free_neighbors:
             return False
         destination = free_neighbors[0]
+        obs = _obs_active()
+        if obs is not None:
+            t_select = perf_counter()
         upcoming = self.upcoming_factory()
         ion, score = max_score_with_value(
             state,
@@ -170,16 +190,26 @@ class Router:
             upcoming,
             self.config.rebalance_window,
         )
+        if obs is not None:
+            obs.spans.add("rebalance", perf_counter() - t_select)
         if score < 0:
             return False
         self.num_rebalances += 1
+        self._observe_eviction(obs, full_trap, ion, destination, "cheap")
         self.route(ion, destination, ShuttleReason.REBALANCE, pinned)
         return True
 
     def _resolve_block(
-        self, full_trap: int, pinned: frozenset[int], depth: int
+        self,
+        full_trap: int,
+        pinned: frozenset[int],
+        depth: int,
+        kind: str = "traffic-block",
     ) -> None:
         """Evict one ion from ``full_trap`` so traffic can pass (Fig. 7)."""
+        obs = _obs_active()
+        if obs is not None:
+            t_select = perf_counter()
         upcoming = self.upcoming_factory()
         ion, destination = select_eviction(
             self.state,
@@ -190,7 +220,10 @@ class Router:
             upcoming=upcoming,
             window=self.config.rebalance_window,
         )
+        if obs is not None:
+            obs.spans.add("rebalance", perf_counter() - t_select)
         self.num_rebalances += 1
+        self._observe_eviction(obs, full_trap, ion, destination, kind)
         self.route(
             ion,
             destination,
@@ -198,3 +231,14 @@ class Router:
             pinned,
             _depth=depth + 1,
         )
+
+    @staticmethod
+    def _observe_eviction(obs, trap: int, ion: int, dst: int, kind: str):
+        if obs is None:
+            return
+        obs.metrics.inc("compile.evictions")
+        obs.metrics.inc(f"compile.evictions.{kind}")
+        if obs.trace is not None:
+            obs.trace.emit(
+                "eviction", trap=trap, ion=ion, dst=dst, kind=kind
+            )

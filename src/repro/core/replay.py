@@ -21,8 +21,10 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from collections.abc import Iterable, Sequence
 from math import isqrt
+from time import perf_counter
 
 from ..arch.machine import QCCDMachine
+from ..obs import active as _obs_active
 from .errors import MachineModelError
 from .state import MachineState
 
@@ -288,6 +290,9 @@ class CheckpointedReplay:
         observer snapshots cannot be reconstructed without an observer
         replay, and observer-carrying engines never develop gaps: their
         commits install freshly recorded checkpoints)."""
+        obs = _obs_active()
+        if obs is not None:
+            obs.metrics.inc("replay.checkpoint_restores")
         cp_pos = bisect_right(self._cp_indices, index) - 1
         cp_index = self._cp_indices[cp_pos]
         state.restore(self._cp_data[cp_pos][0])
@@ -329,6 +334,49 @@ class CheckpointedReplay:
         O(window + √N) when the rewrite's effect stays local, and never
         more than one linear scan when it does not.
         """
+        obs = _obs_active()
+        if obs is None:
+            return self._verify_splice(start, end, replacement)
+        t_verify = perf_counter()
+        verdict = self._verify_splice(start, end, replacement)
+        obs.spans.add("verify-splice", perf_counter() - t_verify)
+        self._observe_verdict(obs, verdict, scored=False)
+        return verdict
+
+    def _observe_verdict(
+        self, obs, verdict: SpliceVerdict, scored: bool
+    ) -> None:
+        metrics = obs.metrics
+        metrics.inc("replay.splice_verifies")
+        metrics.observe(
+            "replay.window_ops", len(verdict.replacement)
+        )
+        if scored:
+            mode = "scored"
+            metrics.inc("replay.scored_splices")
+        elif verdict.rejoin == verdict.end:
+            mode = "rejoin"
+            metrics.inc("replay.suffix_rejoins")
+        elif verdict.rejoin is not None:
+            mode = "reconverged"
+            metrics.inc("replay.suffix_rejoins")
+        else:
+            mode = "replayed"
+            metrics.inc("replay.suffix_replays")
+        if obs.trace is not None:
+            obs.trace.emit(
+                "splice_verify",
+                start=verdict.start,
+                end=verdict.end,
+                window=len(verdict.replacement),
+                ok=verdict.ok,
+                mode=mode,
+                rejoin=verdict.rejoin,
+            )
+
+    def _verify_splice(
+        self, start: int, end: int, replacement: Sequence
+    ) -> SpliceVerdict:
         ops = self._ops
         n = len(ops)
         if not 0 <= start <= end <= n:
@@ -420,6 +468,18 @@ class CheckpointedReplay:
         scan and travel with the verdict, so :meth:`commit` can install
         an accepted candidate without replaying anything again.
         """
+        obs = _obs_active()
+        if obs is None:
+            return self._replay_splice(start, end, replacement)
+        t_replay = perf_counter()
+        verdict = self._replay_splice(start, end, replacement)
+        obs.spans.add("replay-splice", perf_counter() - t_replay)
+        self._observe_verdict(obs, verdict, scored=True)
+        return verdict
+
+    def _replay_splice(
+        self, start: int, end: int, replacement: Sequence
+    ) -> SpliceVerdict:
         ops = self._ops
         n = len(ops)
         if not 0 <= start <= end <= n:

@@ -1,0 +1,178 @@
+"""repro.obs — the telemetry spine: metrics, phase spans, decision traces.
+
+Three pillars, one switch:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges,
+  histograms and timers, with process-safe ``snapshot()``/``merge()``
+  so :class:`~repro.batch.runner.BatchRunner` workers ship their
+  metrics back to the parent for aggregation;
+* :class:`~repro.obs.spans.SpanRecorder` — hierarchical wall-time
+  phase spans (``compile`` → ``schedule-gates`` →
+  ``decide``/``reorder``/``route``; ``optimize`` → per-pass →
+  ``verify-splice``) aggregated into a small tree;
+* :class:`~repro.obs.trace.TraceRecorder` — structured, versioned
+  decision events (see :mod:`repro.obs.trace` for the catalogue).
+
+**Disabled by default, no-op fast path.**  The switch is the
+module-level :data:`_active` observation: :func:`active` returns it (or
+``None``), and every instrumentation site in the compiler, router,
+replay engine, pass manager and batch runner follows the pattern::
+
+    obs = active()
+    ...
+    if obs is not None:
+        obs.metrics.inc("compile.reorders")
+
+so the disabled cost is one function call per operation *sequence* (not
+per op) plus pointer comparisons in loops — gated at ≤5% on the
+compile hot path by ``benchmarks/bench_compile.py``.  Instrumentation
+is inert by construction: it only ever *reads* compiler state, so
+schedules are bit-identical with observability off and on (asserted by
+``tests/test_obs.py`` and the bench fingerprint gate).
+
+Enable for a scope with :func:`observe`::
+
+    from repro import obs
+
+    with obs.observe(trace=True) as observation:
+        result = compile_circuit(circuit, machine)
+    print(observation.spans.render())
+    observation.trace.write_jsonl("decisions.jsonl")
+
+or imperatively with :func:`enable`/:func:`disable` (the CLI's
+``repro trace`` and ``--metrics-out`` do the former).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .registry import HistogramSummary, MetricsRegistry
+from .spans import SpanNode, SpanRecorder
+from .trace import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    TraceRecorder,
+    read_jsonl,
+    validate_event,
+    validate_stream,
+)
+
+__all__ = [
+    "EVENT_FIELDS",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "Observation",
+    "SCHEMA_VERSION",
+    "SpanNode",
+    "SpanRecorder",
+    "TraceRecorder",
+    "active",
+    "collect",
+    "disable",
+    "enable",
+    "enabled",
+    "export_json",
+    "observe",
+    "read_jsonl",
+    "validate_event",
+    "validate_stream",
+]
+
+
+class Observation:
+    """One observation scope: a registry, a span tree and (optionally)
+    a decision-trace recorder."""
+
+    __slots__ = ("metrics", "spans", "trace")
+
+    def __init__(self, trace: bool = False) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.trace: TraceRecorder | None = (
+            TraceRecorder() if trace else None
+        )
+
+
+#: The active observation, or None when observability is disabled (the
+#: default).  Instrumentation reads this through :func:`active` once
+#: per sequence and skips itself entirely on None.
+_active: Observation | None = None
+
+
+def active() -> Observation | None:
+    """The active observation, or ``None`` when disabled."""
+    return _active
+
+
+def enabled() -> bool:
+    """True when an observation is active."""
+    return _active is not None
+
+
+def enable(trace: bool = False) -> Observation:
+    """Install (and return) a fresh active observation."""
+    global _active
+    _active = Observation(trace=trace)
+    return _active
+
+
+def disable() -> Observation | None:
+    """Deactivate observability; returns the observation that was
+    active (so late readers can still export it), or ``None``."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def observe(trace: bool = False):
+    """Scoped enablement: activates a fresh observation for the block
+    and restores the previous state (usually: disabled) afterwards."""
+    global _active
+    previous = _active
+    observation = Observation(trace=trace)
+    _active = observation
+    try:
+        yield observation
+    finally:
+        _active = previous
+
+
+@contextmanager
+def collect():
+    """Route metrics into a fresh registry for the block; yields it.
+
+    This is the batch-worker protocol: each job executes under
+    ``collect()`` and ships ``registry.snapshot()`` back with its
+    result, and the parent merges every shipped snapshot into its own
+    registry — so serial and parallel runs of the same jobs aggregate
+    to identical counters.  When no observation is active a
+    metrics-only one is activated for the block; when one is active its
+    spans/trace keep recording and only the metrics sink is swapped.
+    """
+    global _active
+    previous = _active
+    observation = Observation()
+    if previous is not None:
+        observation.spans = previous.spans
+        observation.trace = previous.trace
+    _active = observation
+    try:
+        yield observation.metrics
+    finally:
+        _active = previous
+
+
+def export_json(observation: Observation) -> dict:
+    """The observation as one JSON-able document (the ``--metrics-out``
+    / ``repro trace --json`` artifact shape)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "metrics": observation.metrics.snapshot(),
+        "spans": observation.spans.to_dict(),
+        "trace_events": (
+            len(observation.trace) if observation.trace is not None else None
+        ),
+    }

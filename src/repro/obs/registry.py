@@ -1,0 +1,189 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+One :class:`MetricsRegistry` holds every metric recorded while an
+observation is active (see :mod:`repro.obs`).  Design constraints, in
+order:
+
+* **Zero cost when disabled.**  Nothing in this module is consulted on
+  the disabled path — instrumentation sites guard on
+  :func:`repro.obs.active` returning ``None`` and skip the call
+  entirely, so the registry itself never needs a fast path.
+* **Process safety by value, not by lock.**  A registry is plain
+  single-process mutable state; cross-process aggregation works by
+  shipping :meth:`snapshot` dicts (pure JSON-able values, picklable)
+  over the pool boundary and folding them in with :meth:`merge`.
+  ``merge(a); merge(b)`` equals ``merge(b); merge(a)`` for counters and
+  histograms, so worker completion order cannot change aggregates.
+* **Small surface.**  Four metric kinds only:
+
+  - *counter* — monotone float/int, :meth:`inc`;
+  - *gauge* — last-written value, :meth:`set_gauge`;
+  - *histogram* — count/sum/min/max summary, :meth:`observe`;
+  - *timer* — a histogram of seconds fed by the :meth:`timer` context
+    manager (or an explicit ``observe(name, seconds)``).
+
+Merge semantics (DESIGN.md §9): counters add, histograms combine
+(counts and sums add, min/max widen), gauges take the incoming value —
+a gauge is "last observation wins", and the merging side is by
+definition observing later.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class HistogramSummary:
+    """count/sum/min/max summary of an observed value stream."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON summary (``min``/``max`` omitted while empty)."""
+        out = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a :meth:`to_dict` payload into this summary."""
+        self.count += data["count"]
+        self.total += data["sum"]
+        if "min" in data and data["min"] < self.min:
+            self.min = data["min"]
+        if "max" in data and data["max"] > self.max:
+            self.max = data["max"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HistogramSummary(count={self.count}, sum={self.total:.6g})"
+        )
+
+
+class _Timer:
+    """Context manager recording its wall time into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe(self._name, perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """In-process metric store with snapshot/merge aggregation."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("phase.x_seconds"): ...`` — records the
+        block's wall time into histogram ``name``."""
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def total(self, name: str) -> float:
+        """Sum of histogram ``name`` (0.0 when never observed) — the
+        phase-total accessor used by ``repro sweep``'s summary."""
+        hist = self.histograms.get(name)
+        return hist.total if hist is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every metric: JSON-able and picklable,
+        suitable for crossing a process boundary."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms combine, gauges take the snapshot's
+        value; merging the per-job snapshots of any worker partition in
+        any order yields the same counters and histogram counts/sums as
+        a serial run of the same jobs.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = HistogramSummary()
+            hist.merge_dict(data)
+
+    def reset(self) -> None:
+        """Drop every recorded metric."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, "
+            f"{len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,93 @@
+"""Text rendering of an observation: the ``repro trace`` report body.
+
+Layout: span tree (wall-time breakdown), then the metrics registry
+(counters, then histogram summaries), then the decision-event digest —
+per-type counts plus the first N events formatted one per line.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import Observation
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def render_metrics(observation: Observation) -> str:
+    """Counters and histogram summaries as aligned text."""
+    lines: list[str] = []
+    metrics = observation.metrics
+    names = sorted(metrics.counters)
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        lines.append(
+            f"  {name:<{width}}  {_format_value(metrics.counters[name])}"
+        )
+    hist_names = sorted(metrics.histograms)
+    if hist_names and names:
+        lines.append("")
+    width = max((len(n) for n in hist_names), default=0)
+    for name in hist_names:
+        hist = metrics.histograms[name]
+        lines.append(
+            f"  {name:<{width}}  n={hist.count}"
+            f"  sum={hist.total:.4f}  mean={hist.mean:.6f}"
+        )
+    return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
+def _format_event(record: dict) -> str:
+    payload = {
+        key: value
+        for key, value in record.items()
+        if key not in ("v", "seq", "event")
+    }
+    fields = " ".join(f"{k}={json.dumps(v)}" for k, v in payload.items())
+    return f"  #{record['seq']:<6} {record['event']:<16} {fields}"
+
+
+def render_events(observation: Observation, limit: int = 12) -> str:
+    """Per-type counts plus the first ``limit`` events."""
+    trace = observation.trace
+    if trace is None:
+        return "  (decision tracing was not enabled)"
+    if not trace.events:
+        return "  (no decision events recorded)"
+    lines: list[str] = []
+    counts = trace.counts()
+    width = max(len(name) for name in counts)
+    for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<{width}}  ×{count}")
+    shown = trace.events[:limit]
+    lines.append("")
+    lines.append(
+        f"  first {len(shown)} of {len(trace.events)} events "
+        f"(schema v{shown[0]['v']}):"
+    )
+    for record in shown:
+        lines.append(_format_event(record))
+    return "\n".join(lines)
+
+
+def render_report(
+    observation: Observation, title: str, events: int = 12
+) -> str:
+    """The full ``repro trace`` text report."""
+    sections = [
+        title,
+        "",
+        "span tree (wall time):",
+        observation.spans.render() or "  (no spans recorded)",
+        "",
+        "metrics:",
+        render_metrics(observation),
+        "",
+        "decision events:",
+        render_events(observation, events),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,191 @@
+"""Hierarchical phase spans: an aggregated wall-time tree.
+
+A *span* is a named stretch of wall time nested under whatever span was
+open when it started (``compile`` → ``schedule-gates`` → ``route`` →
+``route`` for a recursive traffic-block resolution).  Unlike a
+distributed-tracing span log, repeated spans with the same name under
+the same parent are **aggregated into one tree node** carrying a count
+and a total — a 1 400-gate compile produces a dozen-node tree, not a
+40 000-row event log, and the tree *is* the per-phase wall-time
+breakdown the text report renders.
+
+Two recording styles:
+
+* ``with spans.span("route"):`` — pushes a node for the block so inner
+  spans nest under it;
+* ``spans.add("decide", seconds)`` — accumulates a leaf under the
+  currently open span without pushing (the hot-loop style: two
+  ``perf_counter()`` reads and one call, no context-manager overhead).
+
+Instrumentation sites only reach this module when observability is
+enabled, so there is no disabled fast path here (see
+:mod:`repro.obs.registry` for the layering rationale).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class SpanNode:
+    """One aggregated node of the span tree."""
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child_seconds(self) -> float:
+        """Wall time accounted to direct children."""
+        return sum(child.seconds for child in self.children.values())
+
+    def to_dict(self) -> dict:
+        """JSON-able subtree (children in first-seen order)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "seconds": round(self.seconds, 6),
+            "children": [
+                child.to_dict() for child in self.children.values()
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpanNode({self.name!r}, count={self.count}, "
+            f"seconds={self.seconds:.6f}, "
+            f"children={sorted(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Context manager for one :meth:`SpanRecorder.span` entry."""
+
+    __slots__ = ("_recorder", "_node", "_start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._node = recorder._enter(name)
+
+    def __enter__(self) -> SpanNode:
+        self._start = perf_counter()
+        return self._node
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = perf_counter() - self._start
+        self._node.count += 1
+        self._node.seconds += elapsed
+        self._recorder._exit(self._node)
+
+
+class SpanRecorder:
+    """Builds the aggregated span tree for one observation."""
+
+    __slots__ = ("root", "_stack")
+
+    def __init__(self) -> None:
+        self.root = SpanNode("root")
+        self._stack: list[SpanNode] = [self.root]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _enter(self, name: str) -> SpanNode:
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = parent.children[name] = SpanNode(name)
+        self._stack.append(node)
+        return node
+
+    def _exit(self, node: SpanNode) -> None:
+        # Tolerate exceptions that unwound deeper spans without exiting.
+        while self._stack[-1] is not node and len(self._stack) > 1:
+            self._stack.pop()
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def span(self, name: str) -> _SpanContext:
+        """``with spans.span("compile"):`` — time the block as a child
+        of the currently open span and nest inner spans under it."""
+        return _SpanContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into leaf ``name`` under the currently
+        open span (no push — inner spans will not nest under it)."""
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = parent.children[name] = SpanNode(name)
+        node.count += 1
+        node.seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> list[dict]:
+        """The top-level spans as JSON-able dicts."""
+        return [child.to_dict() for child in self.root.children.values()]
+
+    def node(self, *path: str) -> SpanNode | None:
+        """Look up a node by name path from the root, or ``None``."""
+        node = self.root
+        for name in path:
+            node = node.children.get(name)
+            if node is None:
+                return None
+        return node
+
+    def render(self) -> str:
+        """The span tree as indented text (see ``repro trace``)."""
+        lines: list[str] = []
+        width = max(
+            (
+                _max_label(child, 0)
+                for child in self.root.children.values()
+            ),
+            default=0,
+        )
+        for child in self.root.children.values():
+            _render_node(child, "", True, lines, width, top=True)
+        return "\n".join(lines)
+
+
+def _max_label(node: SpanNode, depth: int) -> int:
+    length = depth * 3 + len(node.name)
+    for child in node.children.values():
+        length = max(length, _max_label(child, depth + 1))
+    return length
+
+
+def _render_node(
+    node: SpanNode,
+    prefix: str,
+    last: bool,
+    lines: list[str],
+    width: int,
+    top: bool = False,
+) -> None:
+    if top:
+        label = node.name
+        child_prefix = ""
+    else:
+        connector = "└─ " if last else "├─ "
+        label = prefix + connector + node.name
+        child_prefix = prefix + ("   " if last else "│  ")
+    lines.append(
+        f"{label:<{width + 3}} {node.seconds * 1e3:10.2f} ms"
+        f"  ×{node.count}"
+    )
+    children = list(node.children.values())
+    for position, child in enumerate(children):
+        _render_node(
+            child,
+            child_prefix,
+            position == len(children) - 1,
+            lines,
+            width,
+        )

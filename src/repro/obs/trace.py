@@ -1,0 +1,152 @@
+"""The decision-trace recorder: structured JSONL compiler events.
+
+Every event is a flat JSON object with a three-field envelope —
+``v`` (schema version), ``seq`` (emission order, 0-based), ``event``
+(type name) — plus the per-type payload fields documented in
+:data:`EVENT_FIELDS`.  The schema is versioned: any change to an
+existing event's required fields bumps :data:`SCHEMA_VERSION`, and
+:func:`validate_event` is the executable form of the contract (the
+round-trip test in ``tests/test_obs.py`` holds emitted streams to it).
+
+Event catalogue (v1):
+
+``gate_considered``
+    The compiler reached a two-qubit gate whose ions sit in different
+    traps and entered the decision sequence.
+``move_scores``
+    The direction scores of the active gate (Section III-A2), one per
+    candidate destination trap.
+``shuttle_decision``
+    The direction actually taken, after capacity guards and the
+    full-destination flip.
+``eviction``
+    The re-balancer moved an ion out of a full trap; ``kind`` is
+    ``traffic-block`` (Fig. 7 resolution), ``cheap`` (single-hop
+    pre-decision eviction) or ``both-full`` (last-resort eviction when
+    neither gate trap has room).
+``reorder_splice``
+    Algorithm 1 hoisted a candidate gate in front of the active gate.
+``pass_candidate``
+    The pass manager accepted or rolled back one pass's rewrites;
+    ``reason`` explains rejections (``fidelity-regressed`` /
+    ``shuttles-increased`` / ``applied``).
+``splice_verify``
+    The incremental engine verified one candidate splice; ``mode``
+    records the fast path taken — ``rejoin`` (suffix inherited),
+    ``reconverged`` (suffix replay exited at a matching checkpoint),
+    ``replayed`` (scanned to the end) or ``scored`` (observer-carrying
+    replay, no suffix skipping) — and ``rejoin`` the stream index the
+    scan stopped at (``null`` when it ran to the end).
+
+Events are recorded in memory (the recorder is enabled-only, like the
+rest of :mod:`repro.obs`) and exported with :meth:`TraceRecorder.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+#: Version of the event envelope + payload contract below.
+SCHEMA_VERSION = 1
+
+#: Required payload fields per event type (the envelope fields
+#: ``v``/``seq``/``event`` are required on every record).
+EVENT_FIELDS: dict[str, frozenset[str]] = {
+    "gate_considered": frozenset(
+        {"gate", "qubits", "traps", "pos", "layer"}
+    ),
+    "move_scores": frozenset(
+        {"gate", "score_a_to_b", "score_b_to_a", "favoured_dst"}
+    ),
+    "shuttle_decision": frozenset({"gate", "ion", "src", "dst", "flipped"}),
+    "eviction": frozenset({"trap", "ion", "dst", "kind"}),
+    "reorder_splice": frozenset(
+        {"active_gate", "candidate_gate", "active_pos", "candidate_pos"}
+    ),
+    "pass_candidate": frozenset(
+        {"pass", "rewrites", "accepted", "reason", "shuttles_removed"}
+    ),
+    "splice_verify": frozenset(
+        {"start", "end", "window", "ok", "mode", "rejoin"}
+    ),
+}
+
+#: Envelope fields present on every record.
+ENVELOPE_FIELDS = frozenset({"v", "seq", "event"})
+
+
+def validate_event(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` satisfies the v1 schema."""
+    missing = ENVELOPE_FIELDS - record.keys()
+    if missing:
+        raise ValueError(f"event missing envelope fields {sorted(missing)}")
+    if record["v"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {record['v']!r} "
+            f"(this reader understands v{SCHEMA_VERSION})"
+        )
+    event = record["event"]
+    required = EVENT_FIELDS.get(event)
+    if required is None:
+        raise ValueError(f"unknown event type {event!r}")
+    missing = required - record.keys()
+    if missing:
+        raise ValueError(
+            f"event {event!r} missing fields {sorted(missing)}"
+        )
+
+
+class TraceRecorder:
+    """Collects decision events for one observation."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields: Any) -> dict:
+        """Record one event; returns the full record."""
+        record = {"v": SCHEMA_VERSION, "seq": len(self.events), "event": event}
+        record.update(fields)
+        self.events.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per type, in first-seen order."""
+        out: dict[str, int] = {}
+        for record in self.events:
+            name = record["event"]
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the event stream as JSON Lines; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.events:
+                handle.write(json.dumps(record, sort_keys=False))
+                handle.write("\n")
+        return len(self.events)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL event stream (no validation; see :func:`validate_event`)."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def validate_stream(events: Iterable[dict]) -> int:
+    """Validate every event of a stream; returns how many passed."""
+    count = 0
+    for record in events:
+        validate_event(record)
+        count += 1
+    return count

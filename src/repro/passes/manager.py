@@ -36,9 +36,11 @@ savings to individual rewrites.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..arch.machine import QCCDMachine
+from ..obs import active as _obs_active
 from ..core.errors import MachineModelError
 from ..core.observers import HeatingObserver
 from ..core.replay import CheckpointedReplay
@@ -180,7 +182,28 @@ class PassManager:
         machine: QCCDMachine,
         initial_chains: dict[int, list[int]],
     ) -> OptimizationResult:
-        """Optimize ``schedule``; never returns an unverified stream."""
+        """Optimize ``schedule``; never returns an unverified stream.
+
+        When observability is enabled the run records an ``optimize``
+        span with one child span per pass (splice verifications nest
+        under the pass that triggered them), per-pass delta counters,
+        and — with tracing on — one ``pass_candidate`` event per pass
+        that produced rewrites.
+        """
+        obs = _obs_active()
+        if obs is None:
+            return self._run(schedule, machine, initial_chains, None)
+        with obs.spans.span("optimize"):
+            with obs.metrics.timer("phase.optimize_seconds"):
+                return self._run(schedule, machine, initial_chains, obs)
+
+    def _run(
+        self,
+        schedule: Schedule,
+        machine: QCCDMachine,
+        initial_chains: dict[int, list[int]],
+        obs,
+    ) -> OptimizationResult:
         # One verification replay of the input builds the incremental
         # engine: legality, final chains and (when the guard is on) the
         # log-fidelity of the input, plus the checkpoints every later
@@ -207,67 +230,105 @@ class PassManager:
         stats: list[PassStats] = []
 
         for schedule_pass in self.passes:
-            candidate, rewrites = schedule_pass.run(current, ctx)
-            if rewrites == 0:
-                stats.append(PassStats(schedule_pass.name, 0))
-                continue
-
-            try:
-                start, end, replacement = _diff_splice(
-                    engine.ops, candidate.ops
-                )
-                if heat is not None:
-                    verdict = engine.replay_splice(start, end, replacement)
-                    candidate_log_fidelity = heat.log_fidelity
-                else:
-                    verdict = engine.verify_splice(start, end, replacement)
-                    candidate_log_fidelity = None
-                if not verdict.ok:
-                    raise VerificationError(verdict.error)
-                candidate_chains = verdict.final_chains
-                reference.verify(candidate)
-            except Exception as exc:
-                raise PassError(
-                    f"pass {schedule_pass.name!r} produced an invalid "
-                    f"schedule: {exc}"
-                ) from exc
-
-            reverted = False
-            if candidate.num_shuttles > current.num_shuttles:
-                reverted = True  # defense in depth; see module docstring
-            elif self.fidelity_guard:
-                if (
-                    candidate_log_fidelity
-                    < current_log_fidelity - _LOG_FIDELITY_TOLERANCE
-                ):
-                    reverted = True
-                else:
-                    current_log_fidelity = candidate_log_fidelity
-
-            stats.append(
-                PassStats(
-                    name=schedule_pass.name,
-                    rewrites=rewrites,
-                    shuttles_removed=(
-                        current.num_shuttles - candidate.num_shuttles
-                    ),
-                    splits_removed=(
-                        current.num_splits - candidate.num_splits
-                    ),
-                    merges_removed=(
-                        current.num_merges - candidate.num_merges
-                    ),
-                    swaps_removed=(
-                        current.num_swaps - candidate.num_swaps
-                    ),
-                    ops_removed=len(current) - len(candidate),
-                    reverted=reverted,
-                )
+            pass_span = (
+                obs.spans.span(schedule_pass.name)
+                if obs is not None
+                else nullcontext()
             )
-            if not reverted:
-                engine.commit(verdict)
-                current = candidate
-                final_chains = candidate_chains
+            with pass_span:
+                candidate, rewrites = schedule_pass.run(current, ctx)
+                if rewrites == 0:
+                    stats.append(PassStats(schedule_pass.name, 0))
+                    continue
+
+                try:
+                    start, end, replacement = _diff_splice(
+                        engine.ops, candidate.ops
+                    )
+                    if heat is not None:
+                        verdict = engine.replay_splice(
+                            start, end, replacement
+                        )
+                        candidate_log_fidelity = heat.log_fidelity
+                    else:
+                        verdict = engine.verify_splice(
+                            start, end, replacement
+                        )
+                        candidate_log_fidelity = None
+                    if not verdict.ok:
+                        raise VerificationError(verdict.error)
+                    candidate_chains = verdict.final_chains
+                    reference.verify(candidate)
+                except Exception as exc:
+                    raise PassError(
+                        f"pass {schedule_pass.name!r} produced an invalid "
+                        f"schedule: {exc}"
+                    ) from exc
+
+                reverted = False
+                reason = "applied"
+                if candidate.num_shuttles > current.num_shuttles:
+                    # Defense in depth; see module docstring.
+                    reverted = True
+                    reason = "shuttles-increased"
+                elif self.fidelity_guard:
+                    if (
+                        candidate_log_fidelity
+                        < current_log_fidelity - _LOG_FIDELITY_TOLERANCE
+                    ):
+                        reverted = True
+                        reason = "fidelity-regressed"
+                    else:
+                        current_log_fidelity = candidate_log_fidelity
+
+                shuttles_removed = (
+                    current.num_shuttles - candidate.num_shuttles
+                )
+                stats.append(
+                    PassStats(
+                        name=schedule_pass.name,
+                        rewrites=rewrites,
+                        shuttles_removed=shuttles_removed,
+                        splits_removed=(
+                            current.num_splits - candidate.num_splits
+                        ),
+                        merges_removed=(
+                            current.num_merges - candidate.num_merges
+                        ),
+                        swaps_removed=(
+                            current.num_swaps - candidate.num_swaps
+                        ),
+                        ops_removed=len(current) - len(candidate),
+                        reverted=reverted,
+                    )
+                )
+                if obs is not None:
+                    name = schedule_pass.name
+                    obs.metrics.inc(f"passes.{name}.rewrites", rewrites)
+                    if reverted:
+                        obs.metrics.inc(f"passes.{name}.reverted")
+                    else:
+                        obs.metrics.inc(
+                            f"passes.{name}.shuttles_removed",
+                            shuttles_removed,
+                        )
+                        obs.metrics.inc(
+                            f"passes.{name}.ops_removed",
+                            len(current) - len(candidate),
+                        )
+                    if obs.trace is not None:
+                        obs.trace.emit(
+                            "pass_candidate",
+                            **{"pass": name},
+                            rewrites=rewrites,
+                            accepted=not reverted,
+                            reason=reason,
+                            shuttles_removed=shuttles_removed,
+                        )
+                if not reverted:
+                    engine.commit(verdict)
+                    current = candidate
+                    final_chains = candidate_chains
 
         return OptimizationResult(
             schedule=current,

@@ -133,15 +133,17 @@ class TestSweepCommand:
             "--json", str(tmp_path / "out.json"),
         ]
         assert main(argv) == 0
-        cold = capsys.readouterr().out
-        assert "0% hit rate" in cold
+        captured = capsys.readouterr()
+        assert "0% hit rate" in captured.out
         assert (tmp_path / "out.csv").exists()
         assert (tmp_path / "out.json").exists()
 
         assert main(argv) == 0
-        warm = capsys.readouterr().out
-        assert "100% hit rate" in warm
-        assert "(cached)" in warm
+        captured = capsys.readouterr()
+        assert "100% hit rate" in captured.out
+        # Progress diagnostics are logged to stderr; stdout is reports.
+        assert "(cached)" in captured.err
+        assert "(cached)" not in captured.out
 
     def test_sweep_no_cache(self, capsys):
         code = main(
@@ -176,6 +178,105 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "this-work+passes" in out
         assert "raw" in out and "removed" in out
+
+    def test_sweep_summary_has_cache_and_phase_lines(self, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "random:10:30:1", "--machines",
+             "linear3", "--configs", "baseline", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled (--no-cache)" in out
+        assert "phases: compile" in out
+
+    def test_sweep_quiet_hides_progress(self, capsys):
+        code = main(
+            ["--quiet", "sweep", "--benchmarks", "random:10:30:1",
+             "--machines", "linear3", "--configs", "baseline",
+             "--no-cache"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[1/1]" not in captured.err
+        assert "shuttles" in captured.out  # the report itself survives
+
+    def test_sweep_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["sweep", "--benchmarks", "random:10:30:1", "--machines",
+             "linear3", "--configs", "baseline", "--no-cache",
+             "--metrics-out", str(path)]
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert document["metrics"]["counters"]["compile.circuits"] == 1
+        assert document["metrics"]["counters"]["batch.jobs"] == 1
+        assert any(
+            node["name"] == "compile" for node in document["spans"]
+        )
+        assert f"wrote {path}" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_text_report(self, capsys):
+        code = main(
+            ["trace", "random:10:30:1", "--machine", "linear3",
+             "--passes", "default"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace: Random-uniform-10q-s1" in out
+        assert "span tree (wall time):" in out
+        assert "compile" in out
+        assert "metrics:" in out
+        assert "decision events:" in out
+
+    def test_trace_json(self, capsys):
+        import json
+
+        code = main(
+            ["trace", "random:10:30:1", "--machine", "linear3", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["metrics"]["counters"]["compile.circuits"] == 1
+        assert isinstance(document["events"], list)
+        assert document["trace_events"] == len(document["events"])
+
+    def test_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl, validate_stream
+
+        path = tmp_path / "events.jsonl"
+        code = main(
+            ["trace", "random:10:30:1", "--machine", "linear3",
+             "--jsonl", str(path)]
+        )
+        assert code == 0
+        events = read_jsonl(str(path))
+        assert validate_stream(events) == len(events)
+
+    def test_trace_leaves_obs_disabled(self):
+        from repro import obs
+
+        assert main(
+            ["trace", "random:10:30:1", "--machine", "linear3"]
+        ) == 0
+        assert obs.active() is None
+
+    def test_compile_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["compile", "random", "--qubits", "10", "--gates", "30",
+             "--machine", "linear3", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        # `repro compile` compiles both configs under one observation.
+        assert document["metrics"]["counters"]["compile.circuits"] == 2
 
     def test_sweep_unknown_pass(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,453 @@
+"""Observability-spine tests: registry semantics, span trees, the
+decision-trace schema, instrumentation inertness, and the
+serial-vs-parallel metrics-merge equivalence."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.arch import linear_topology, uniform_machine
+from repro.batch import BatchRunner, sweep
+from repro.bench import random_circuit
+from repro.compiler.compiler import compile_circuit
+from repro.compiler.config import CompilerConfig
+from repro.obs import (
+    EVENT_FIELDS,
+    HistogramSummary,
+    MetricsRegistry,
+    Observation,
+    SCHEMA_VERSION,
+    SpanRecorder,
+    TraceRecorder,
+    read_jsonl,
+    validate_event,
+    validate_stream,
+)
+from repro.obs.report import render_report
+
+
+def tiny_machine():
+    return uniform_machine(linear_topology(3), 6, 2)
+
+
+def tiny_circuit(seed=1):
+    return random_circuit(10, 60, seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after():
+    """No test leaks an active observation into the next."""
+    yield
+    obs.disable()
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.set_gauge("g", 2.0)
+        reg.set_gauge("g", 7.0)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        assert reg.counter("a") == 5
+        assert reg.counter("never") == 0
+        assert reg.gauges["g"] == 7.0
+        hist = reg.histograms["h"]
+        assert hist.count == 2
+        assert hist.total == 4.0
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+        assert reg.total("h") == 4.0
+        assert reg.total("never") == 0.0
+
+    def test_timer_records_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("t_seconds"):
+            pass
+        hist = reg.histograms["t_seconds"]
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 0.25)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"] == {"a": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        a.observe("h", 1.0)
+        b.observe("h", 5.0)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.merge(b.snapshot())
+        assert a.counter("c") == 5
+        hist = a.histograms["h"]
+        assert hist.count == 2 and hist.total == 6.0
+        assert hist.min == 1.0 and hist.max == 5.0
+        assert a.gauges["g"] == 9.0  # incoming value wins
+
+    def test_merge_order_independent(self):
+        parts = []
+        for k in range(3):
+            reg = MetricsRegistry()
+            reg.inc("n", k + 1)
+            reg.observe("h", float(k))
+            parts.append(reg.snapshot())
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for snap in parts:
+            left.merge(snap)
+        for snap in reversed(parts):
+            right.merge(snap)
+        assert left.snapshot() == right.snapshot()
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_empty_histogram_dict_omits_min_max(self):
+        assert HistogramSummary().to_dict() == {"count": 0, "sum": 0.0}
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+class TestSpanRecorder:
+    def test_nesting_and_aggregation(self):
+        spans = SpanRecorder()
+        for _ in range(3):
+            with spans.span("outer"):
+                with spans.span("inner"):
+                    pass
+                spans.add("leaf", 0.5)
+        outer = spans.node("outer")
+        assert outer.count == 3
+        assert spans.node("outer", "inner").count == 3
+        leaf = spans.node("outer", "leaf")
+        assert leaf.count == 3
+        assert leaf.seconds == pytest.approx(1.5)
+        assert spans.node("outer", "missing") is None
+
+    def test_same_name_siblings_fold_into_one_node(self):
+        spans = SpanRecorder()
+        with spans.span("a"):
+            with spans.span("r"):
+                with spans.span("r"):  # recursion nests, not folds
+                    pass
+        assert spans.node("a", "r").count == 1
+        assert spans.node("a", "r", "r").count == 1
+
+    def test_to_dict_round_trips_through_json(self):
+        spans = SpanRecorder()
+        with spans.span("a"):
+            spans.add("b", 0.25)
+        data = json.loads(json.dumps(spans.to_dict()))
+        assert data[0]["name"] == "a"
+        assert data[0]["children"][0]["name"] == "b"
+
+    def test_render_lists_every_node(self):
+        spans = SpanRecorder()
+        with spans.span("compile"):
+            spans.add("decide", 0.001)
+            spans.add("route", 0.002)
+        text = spans.render()
+        for name in ("compile", "decide", "route"):
+            assert name in text
+
+    def test_exception_unwinds_stack(self):
+        spans = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with spans.span("outer"):
+                with spans.span("inner"):
+                    raise RuntimeError("boom")
+        with spans.span("after"):
+            pass
+        assert spans.node("after") is not None
+        assert spans.node("outer", "after") is None
+
+
+# ----------------------------------------------------------------------
+# Decision-trace schema
+# ----------------------------------------------------------------------
+class TestTraceSchema:
+    def test_emit_envelope_and_counts(self):
+        trace = TraceRecorder()
+        trace.emit("eviction", trap=1, ion=2, dst=0, kind="cheap")
+        trace.emit("eviction", trap=2, ion=3, dst=1, kind="traffic-block")
+        record = trace.events[0]
+        assert record["v"] == SCHEMA_VERSION
+        assert record["seq"] == 0
+        assert trace.events[1]["seq"] == 1
+        assert trace.counts() == {"eviction": 2}
+        assert len(trace) == 2
+
+    def test_validate_rejects_unknown_event(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            validate_event({"v": SCHEMA_VERSION, "seq": 0, "event": "nope"})
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_event(
+                {"v": SCHEMA_VERSION, "seq": 0, "event": "eviction"}
+            )
+
+    def test_validate_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="schema version"):
+            validate_event(
+                {"v": SCHEMA_VERSION + 1, "seq": 0, "event": "eviction",
+                 "trap": 0, "ion": 1, "dst": 2, "kind": "cheap"}
+            )
+
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        """Every event type documented in EVENT_FIELDS survives a
+        write/read/validate round trip."""
+        trace = TraceRecorder()
+        samples = {
+            "gate_considered": dict(
+                gate="ms(0,1)", qubits=[0, 1], traps=[0, 1], pos=3, layer=1
+            ),
+            "move_scores": dict(
+                gate="ms(0,1)", score_a_to_b=2.0, score_b_to_a=1.0,
+                favoured_dst=1,
+            ),
+            "shuttle_decision": dict(
+                gate="ms(0,1)", ion=0, src=0, dst=1, flipped=False
+            ),
+            "eviction": dict(trap=1, ion=4, dst=2, kind="both-full"),
+            "reorder_splice": dict(
+                active_gate="ms(0,1)", candidate_gate="ms(2,3)",
+                active_pos=5, candidate_pos=9,
+            ),
+            "pass_candidate": {
+                "pass": "reroute", "rewrites": 2, "accepted": True,
+                "reason": "applied", "shuttles_removed": 1,
+            },
+            "splice_verify": dict(
+                start=10, end=20, window=4, ok=True, mode="rejoin",
+                rejoin=20,
+            ),
+        }
+        assert set(samples) == set(EVENT_FIELDS)
+        for event, fields in samples.items():
+            validate_event(trace.emit(event, **fields))
+        path = tmp_path / "events.jsonl"
+        assert trace.write_jsonl(str(path)) == len(samples)
+        loaded = read_jsonl(str(path))
+        assert loaded == trace.events
+        assert validate_stream(loaded) == len(samples)
+
+
+# ----------------------------------------------------------------------
+# Enablement protocol
+# ----------------------------------------------------------------------
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert obs.active() is None
+        assert not obs.enabled()
+
+    def test_observe_restores_previous_state(self):
+        with obs.observe() as observation:
+            assert obs.active() is observation
+            assert observation.trace is None
+        assert obs.active() is None
+
+    def test_observe_trace_flag(self):
+        with obs.observe(trace=True) as observation:
+            assert observation.trace is not None
+
+    def test_enable_disable(self):
+        observation = obs.enable()
+        assert obs.active() is observation
+        assert obs.disable() is observation
+        assert obs.active() is None
+
+    def test_collect_swaps_metrics_only(self):
+        with obs.observe(trace=True) as outer:
+            outer.metrics.inc("outer")
+            with obs.collect() as registry:
+                inner = obs.active()
+                assert inner is not outer
+                assert inner.metrics is registry
+                assert inner.spans is outer.spans
+                assert inner.trace is outer.trace
+                registry.inc("inner")
+            assert obs.active() is outer
+        assert "inner" not in outer.metrics.counters
+
+    def test_collect_activates_when_disabled(self):
+        with obs.collect() as registry:
+            assert obs.active() is not None
+            assert obs.active().metrics is registry
+        assert obs.active() is None
+
+    def test_export_json_shape(self):
+        observation = Observation(trace=True)
+        observation.metrics.inc("a")
+        observation.trace.emit(
+            "eviction", trap=0, ion=1, dst=2, kind="cheap"
+        )
+        document = obs.export_json(observation)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["metrics"]["counters"] == {"a": 1}
+        assert document["trace_events"] == 1
+        assert json.loads(json.dumps(document)) == document
+
+
+# ----------------------------------------------------------------------
+# Instrumented compile
+# ----------------------------------------------------------------------
+class TestInstrumentedCompile:
+    def test_schedules_identical_with_obs_off_and_on(self):
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        config = CompilerConfig.optimized().variant(
+            post_passes=("default",)
+        )
+        base = compile_circuit(circuit, machine, config)
+        with obs.observe(trace=True):
+            traced = compile_circuit(circuit, machine, config)
+        assert list(base.schedule.ops) == list(traced.schedule.ops)
+        assert base.gate_order == traced.gate_order
+        assert base.final_chains == traced.final_chains
+        assert base.num_reorders == traced.num_reorders
+
+    def test_span_tree_covers_compile_wall_time(self):
+        """The compile span's per-phase children account for (almost)
+        all of the measured compile time, and the span total agrees
+        with CompilationResult.compile_time to within 10%."""
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        with obs.observe() as observation:
+            result = compile_circuit(circuit, machine)
+        compile_node = observation.spans.node("compile")
+        assert compile_node is not None and compile_node.count == 1
+        assert compile_node.seconds == pytest.approx(
+            result.compile_time, rel=0.10
+        )
+        assert compile_node.child_seconds() <= compile_node.seconds
+
+    def test_compile_counters_match_result(self):
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        with obs.observe() as observation:
+            result = compile_circuit(circuit, machine)
+        metrics = observation.metrics
+        assert metrics.counter("compile.circuits") == 1
+        assert metrics.counter("compile.shuttles") == result.num_shuttles
+        assert metrics.counter("compile.reorders") == result.num_reorders
+        assert (
+            metrics.counter("compile.rebalances") == result.num_rebalances
+        )
+        assert metrics.counter("compile.gates") == result.schedule.num_gates
+        assert metrics.histograms["phase.compile_seconds"].count == 1
+
+    def test_memo_counters_split_hits_and_passes(self):
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        with obs.observe() as observation:
+            compile_circuit(circuit, machine)
+        metrics = observation.metrics
+        hits = metrics.counter("compile.index.memo_hits")
+        passes = metrics.counter("compile.index.score_passes")
+        assert passes > 0
+        assert hits > 0  # favoured + decide share the active gate's memo
+
+    def test_trace_events_validate(self):
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        config = CompilerConfig.optimized().variant(
+            post_passes=("default",)
+        )
+        with obs.observe(trace=True) as observation:
+            compile_circuit(circuit, machine, config)
+        events = observation.trace.events
+        assert events, "a cross-trap compile must emit decision events"
+        assert validate_stream(events) == len(events)
+        counts = observation.trace.counts()
+        assert counts["gate_considered"] == counts["shuttle_decision"]
+
+    def test_report_renders(self):
+        machine = tiny_machine()
+        circuit = tiny_circuit()
+        with obs.observe(trace=True) as observation:
+            compile_circuit(circuit, machine)
+        text = render_report(observation, "trace: test")
+        assert "span tree (wall time):" in text
+        assert "compile" in text
+        assert "decision events:" in text
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing metrics merge
+# ----------------------------------------------------------------------
+def _sweep_jobs():
+    machine = tiny_machine()
+    circuits = [tiny_circuit(seed) for seed in (1, 2, 3)]
+    # A duplicated circuit exercises in-run dedup under observation.
+    circuits.append(tiny_circuit(1))
+    return sweep(
+        circuits, [machine], [CompilerConfig.optimized()], simulate=True
+    )
+
+
+class TestBatchMetricsMerge:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_parallel_merge_equals_serial(self, n_jobs):
+        with obs.observe() as serial_obs:
+            BatchRunner(n_jobs=1).run(_sweep_jobs())
+        with obs.observe() as parallel_obs:
+            BatchRunner(n_jobs=n_jobs).run(_sweep_jobs())
+        serial = serial_obs.metrics.snapshot()
+        parallel = parallel_obs.metrics.snapshot()
+        assert serial["counters"] == parallel["counters"]
+        # Histogram counts/sums of deterministic quantities agree;
+        # wall-time histograms agree in count only.
+        for name, data in serial["histograms"].items():
+            assert parallel["histograms"][name]["count"] == data["count"]
+
+    def test_worker_snapshots_stripped_from_results(self):
+        with obs.observe():
+            results = BatchRunner(n_jobs=2).run(_sweep_jobs())
+        assert all(r.metrics is None for r in results)
+
+    def test_dedup_counter(self):
+        with obs.observe() as observation:
+            runner = BatchRunner(n_jobs=1)
+            runner.run(_sweep_jobs())
+        assert observation.metrics.counter("batch.deduplicated") == 1
+        assert runner.deduplicated == 1
+
+    def test_unobserved_run_ships_no_metrics(self):
+        results = BatchRunner(n_jobs=2).run(_sweep_jobs())
+        assert all(r.metrics is None for r in results)
+
+    def test_cache_stats_reach_registry(self, tmp_path):
+        jobs = _sweep_jobs()
+        with obs.observe() as cold:
+            BatchRunner(n_jobs=1, cache=str(tmp_path)).run(jobs)
+        assert cold.metrics.counter("cache.misses") == 3
+        assert cold.metrics.counter("cache.puts") == 3
+        with obs.observe() as warm:
+            BatchRunner(n_jobs=1, cache=str(tmp_path)).run(jobs)
+        # The duplicate job is a disk hit on the warm pass (its twin
+        # resolved from cache, so it never enters the dedup set).
+        assert warm.metrics.counter("cache.hits") == 4
+        assert warm.metrics.counter("cache.misses") == 0
