@@ -1,0 +1,135 @@
+"""Load-harness benchmark: pinned scenario vs the recorded baseline.
+
+Runs the ``bench-pin`` preset (24 deterministic random circuits,
+linear4, cache disabled, seed 20220308) through
+:class:`repro.loadgen.LoadRunner` serially and with two consumers, and
+compares against the committed recording in
+``benchmarks/baselines/BENCH_load_baseline.json`` (captured by
+``record_load_baseline.py``).  Writes ``benchmarks/_results/
+BENCH_load.json`` with both runs' throughput and tail latencies.
+
+Hard guarantees asserted here:
+
+* the expanded job list's fingerprint digest equals the baseline's —
+  the deterministic workload expansion cannot drift silently (a seed
+  or draw-order change fails before any timing gate),
+* serial and parallel runs merge to identical counters and identical
+  latency-histogram counts (the registry's order-independence
+  property, end to end through the harness),
+* the serial run's wall time is no worse than the baseline within
+  :data:`NO_WORSE_SLACK` (widen via ``REPRO_BENCH_SLACK`` on slow
+  shared runners, as with ``bench_compile.py``),
+* the pinned run trips no soak detector (it is far too short for the
+  trend checks to conclude, and the memory check must stay
+  inconclusive below its span floor rather than extrapolating noise).
+
+Run with ``pytest benchmarks/bench_load.py``.
+"""
+
+import hashlib
+import json
+import os
+
+from conftest import write_result
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "baselines",
+    "BENCH_load_baseline.json",
+)
+
+NO_WORSE_SLACK = float(os.environ.get("REPRO_BENCH_SLACK", "1.25"))
+
+#: Counters that must merge identically no matter the consumer count.
+MERGE_KEYS = (
+    "load.jobs",
+    "load.ok",
+    "batch.jobs",
+    "batch.jobs_ok",
+    "batch.cache_misses",
+)
+
+
+def jobs_digest(scenario) -> str:
+    """SHA-256 over the expanded job list's content fingerprints."""
+    count = scenario.job_count()
+    fingerprints = [
+        job.fingerprint() for job in scenario.draw_jobs(count)
+    ]
+    return hashlib.sha256("\n".join(fingerprints).encode()).hexdigest()
+
+
+def _run(consumers):
+    from repro.loadgen import LoadRunner, PRESETS
+
+    return LoadRunner(PRESETS["bench-pin"], consumers=consumers).run()
+
+
+def _summarize(report) -> dict:
+    return {
+        "consumers": report.consumers,
+        "wall_seconds": round(report.duration_seconds, 4),
+        "jobs_per_s": round(
+            report.throughput["overall_jobs_per_s"], 3
+        ),
+        "p50_ms": round(report.latency["p50"] * 1000, 3),
+        "p90_ms": round(report.latency["p90"] * 1000, 3),
+        "p99_ms": round(report.latency["p99"] * 1000, 3),
+        "counts": report.counts,
+    }
+
+
+def test_load_harness_vs_baseline(results_dir):
+    from repro.loadgen import PRESETS
+
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    scenario = PRESETS["bench-pin"]
+    digest = jobs_digest(scenario)
+    assert digest == baseline["jobs_fingerprint_digest"], (
+        "the bench-pin workload expansion drifted from the baseline "
+        "recording: seeded scenario -> job-list determinism is broken "
+        "(or the preset changed without re-recording the baseline)"
+    )
+
+    serial = _run(consumers=1)
+    parallel = _run(consumers=2)
+
+    # Order-independent merges: same counters, same histogram mass.
+    for key in MERGE_KEYS:
+        assert (
+            serial.metrics["counters"].get(key)
+            == parallel.metrics["counters"].get(key)
+        ), f"counter {key} differs between serial and parallel runs"
+    assert serial.counts == parallel.counts
+    serial_hist = serial.metrics["histograms"]["load.latency_seconds"]
+    parallel_hist = parallel.metrics["histograms"]["load.latency_seconds"]
+    assert serial_hist["count"] == parallel_hist["count"]
+
+    # The pinned run must conclude clean: nothing trips, and the
+    # sub-second memory series stays inconclusive instead of
+    # extrapolating allocator warm-up into a fake leak.
+    assert serial.passed and parallel.passed
+
+    summary = {
+        "scenario": "bench-pin",
+        "jobs_fingerprint_digest": digest,
+        "baseline_label": baseline.get("label", "baseline"),
+        "serial": _summarize(serial),
+        "parallel": _summarize(parallel),
+        "serial_speedup_vs_baseline": round(
+            baseline["serial"]["wall_seconds"]
+            / serial.duration_seconds,
+            3,
+        ),
+    }
+    write_result(
+        results_dir, "BENCH_load.json", json.dumps(summary, indent=2)
+    )
+
+    base_wall = baseline["serial"]["wall_seconds"]
+    assert serial.duration_seconds <= base_wall * NO_WORSE_SLACK, (
+        f"load harness regressed: {serial.duration_seconds:.2f}s vs "
+        f"baseline {base_wall:.2f}s serial wall time"
+    )

@@ -1,0 +1,66 @@
+"""Record the load-harness baseline for ``bench_load.py``.
+
+Runs the pinned ``bench-pin`` scenario serially and with two consumers
+(minimum wall time of :data:`REPEATS` runs each) and writes
+``benchmarks/baselines/BENCH_load_baseline.json`` (committed — the
+regression reference ``bench_load.py`` gates against).  The recording
+pins two things: an absolute wall-clock reference for the serial run,
+and a SHA-256 digest over the expanded job list's content
+fingerprints, so any drift in the deterministic workload expansion
+(seed handling, draw order, circuit generators) fails the benchmark
+before timing is even consulted.  Re-run only to re-baseline
+deliberately::
+
+    PYTHONPATH=src python benchmarks/record_load_baseline.py [label]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines"
+)
+BASELINE_PATH = os.path.join(BASELINE_DIR, "BENCH_load_baseline.json")
+
+REPEATS = 3
+
+
+def record() -> dict:
+    from bench_load import _run, _summarize, jobs_digest
+    from repro.loadgen import PRESETS
+
+    runs = {}
+    for consumers in (1, 2):
+        best = None
+        for _ in range(REPEATS):
+            report = _run(consumers)
+            if best is None or report.duration_seconds < best.duration_seconds:
+                best = report
+        runs[consumers] = _summarize(best)
+    return {
+        "label": sys.argv[1] if len(sys.argv) > 1 else "bench-pin baseline",
+        "scenario": "bench-pin",
+        "repeats": REPEATS,
+        "jobs_fingerprint_digest": jobs_digest(PRESETS["bench-pin"]),
+        "serial": runs[1],
+        "parallel": runs[2],
+    }
+
+
+def main() -> None:
+    baseline = record()
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+    print(json.dumps(baseline, indent=2))
+
+
+if __name__ == "__main__":
+    main()

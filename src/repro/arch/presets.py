@@ -53,3 +53,25 @@ def grid_machine(
 ) -> QCCDMachine:
     """A grid machine (QCCDSim's G2x3-style configuration)."""
     return uniform_machine(grid_topology(rows, cols), capacity, comm_capacity)
+
+
+def machine_from_spec(spec: str) -> QCCDMachine:
+    """Parse one machine spec string into a preset machine.
+
+    Accepted forms: ``l6``, ``linearN``, ``ringN``, ``gridRxC`` — the
+    vocabulary shared by the CLI and :mod:`repro.loadgen` scenarios.
+    Raises :class:`ValueError` for anything else.
+    """
+    try:
+        if spec == "l6":
+            return l6_machine()
+        if spec.startswith("linear"):
+            return linear_machine(int(spec[len("linear") :]))
+        if spec.startswith("ring"):
+            return ring_machine(int(spec[len("ring") :]))
+        if spec.startswith("grid"):
+            rows, cols = spec[len("grid") :].split("x")
+            return grid_machine(int(rows), int(cols))
+    except ValueError:
+        pass
+    raise ValueError(f"unknown machine {spec!r}")

@@ -26,11 +26,12 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import pickle
+import queue
 import sys
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
-from time import perf_counter
+from time import perf_counter, sleep
 
 from ..compiler.compiler import QCCDCompiler
 from ..compiler.mapping import greedy_initial_mapping
@@ -66,11 +67,40 @@ class JobResult:
     #: parent registry by the runner and stripped before caching and
     #: fan-out, so cached and fresh results compare equal.
     metrics: dict | None = None
+    #: Wall seconds the executing process spent on the job (service
+    #: time) — recorded for failures too, so load reports can count
+    #: errored work.  Stripped before caching (a hit's service time is
+    #: the lookup, not the recorded compile).
+    seconds: float | None = None
 
     @property
     def ok(self) -> bool:
         """True when the job compiled (and simulated) successfully."""
         return self.error is None and self.result is not None
+
+
+@dataclass
+class TimedResult:
+    """One :meth:`BatchRunner.run_timed` outcome with its timeline.
+
+    All times are seconds relative to the run's start.  ``sojourn`` is
+    the latency a load generator reports for an open-loop request:
+    scheduled arrival to completion, queueing included.  For closed
+    loops (every arrival at 0) use :attr:`JobResult.seconds` — the
+    service time — instead.
+    """
+
+    result: JobResult
+    arrival: float
+    #: When the parent picked the job up (cache lookup / pool submit);
+    #: ``finished - dispatched`` bounds a cache hit's parent-side cost.
+    dispatched: float
+    finished: float
+
+    @property
+    def sojourn(self) -> float:
+        """Arrival-to-completion latency (wait + service)."""
+        return self.finished - self.arrival
 
 
 class BatchError(RuntimeError):
@@ -125,20 +155,32 @@ def _execute_indexed(
         t_job = perf_counter()
         job_result = _execute_one(index, job, key)
         registry.observe("batch.job_seconds", perf_counter() - t_job)
+        # Outcome counters travel in the snapshot even when the job
+        # failed — partial metrics from errored work reach the parent
+        # (load reports count failures, they don't lose them).
+        registry.inc("batch.jobs_ok" if job_result.ok else "batch.jobs_failed")
         return replace(job_result, metrics=registry.snapshot())
 
 
 def _execute_one(index: int, job: CompileJob, key: str) -> JobResult:
+    t_start = perf_counter()
     try:
         result, report = execute_job(job)
-        return JobResult(index, key, result, report)
+        return JobResult(
+            index, key, result, report, seconds=perf_counter() - t_start
+        )
     except Exception as exc:
         try:
             pickle.dumps(exc)
         except Exception:
             exc = None  # unpicklable: the traceback string still travels
         return JobResult(
-            index, key, None, error=traceback.format_exc(), exception=exc
+            index,
+            key,
+            None,
+            error=traceback.format_exc(),
+            exception=exc,
+            seconds=perf_counter() - t_start,
         )
 
 
@@ -269,10 +311,147 @@ class BatchRunner:
             job_result = replace(job_result, metrics=None)
         if job_result.ok:
             self.cache.put(
-                job_result.fingerprint, replace(job_result, job_index=-1)
+                job_result.fingerprint,
+                replace(job_result, job_index=-1, seconds=None),
             )
         for index in pending.pop(job_result.fingerprint):
             resolve(index, replace(job_result, job_index=index))
+
+    def run_timed(
+        self,
+        jobs: Sequence[CompileJob],
+        arrivals: Sequence[float] | None = None,
+    ) -> list[TimedResult]:
+        """Execute ``jobs`` on a request timeline; the load-generator
+        entry point (:mod:`repro.loadgen`).
+
+        ``arrivals[i]`` is when job ``i`` becomes visible, in seconds
+        from the start of the call; ``None`` means every job arrives at
+        0 (a closed loop: ``n_jobs`` consumers stay saturated).  With a
+        staggered timeline this is an *open-loop* generator: dispatch
+        happens at the scheduled instant regardless of how far behind
+        the workers are, so overload shows up as growing
+        :attr:`TimedResult.sojourn`, exactly like a queueing server.
+
+        Differences from :meth:`run`, all deliberate:
+
+        * **No in-run deduplication** — every arrival is an independent
+          request; identical concurrent requests genuinely execute
+          twice (a server without request coalescing).  The cache is
+          still consulted per arrival, so repeats *after* a completed
+          put are served as hits with the lookup as their latency.
+        * **Results are returned in completion order** with their
+          timeline attached (the caller sorts by ``job_index`` when it
+          needs job order).
+        """
+        total = len(jobs)
+        if arrivals is None:
+            arrivals = [0.0] * total
+        if len(arrivals) != total:
+            raise ValueError(
+                f"{len(arrivals)} arrivals for {total} jobs"
+            )
+        obs = _obs_active()
+        observed = obs is not None
+        completions: queue.Queue = queue.Queue()
+        timed: list[TimedResult] = []
+        dispatch_times: dict[int, float] = {}
+        done = 0
+        t_zero = perf_counter()
+
+        def finish(job_result: JobResult, finished: float) -> None:
+            nonlocal done
+            if job_result.metrics is not None:
+                parent = _obs_active()
+                if parent is not None:
+                    parent.metrics.merge(job_result.metrics)
+                job_result = replace(job_result, metrics=None)
+            if job_result.ok and not job_result.cache_hit:
+                self.cache.put(
+                    job_result.fingerprint,
+                    replace(job_result, job_index=-1, seconds=None),
+                )
+            timed.append(
+                TimedResult(
+                    result=job_result,
+                    arrival=arrivals[job_result.job_index],
+                    dispatched=dispatch_times[job_result.job_index],
+                    finished=finished,
+                )
+            )
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, jobs[job_result.job_index], job_result)
+
+        def drain(block: bool) -> None:
+            while True:
+                try:
+                    finished, job_result = completions.get(block=block, timeout=None)
+                except queue.Empty:
+                    return
+                finish(job_result, finished)
+                block = False
+
+        pool = None
+        if self.n_jobs > 1 and total > 1:
+            methods = multiprocessing.get_all_start_methods()
+            use_fork = sys.platform == "linux" and "fork" in methods
+            ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
+            pool = ctx.Pool(processes=min(self.n_jobs, total))
+        dispatched = 0
+        try:
+            for index, job in enumerate(jobs):
+                delay = t_zero + arrivals[index] - perf_counter()
+                if delay > 0:
+                    sleep(delay)
+                drain(block=False)
+                dispatch_times[index] = perf_counter() - t_zero
+                key = job.fingerprint()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    finish(
+                        replace(cached, job_index=index, cache_hit=True),
+                        perf_counter() - t_zero,
+                    )
+                    continue
+                payload = (index, job, key, observed)
+                if pool is None:
+                    job_result = _execute_indexed(payload)
+                    finish(job_result, perf_counter() - t_zero)
+                else:
+                    dispatched += 1
+
+                    def on_done(job_result, _t0=t_zero):
+                        completions.put(
+                            (perf_counter() - _t0, job_result)
+                        )
+
+                    def on_error(exc, _index=index, _key=key, _t0=t_zero):
+                        # _execute_indexed formats job failures itself;
+                        # this only fires on infrastructure errors
+                        # (e.g. an unpicklable result).
+                        completions.put(
+                            (
+                                perf_counter() - _t0,
+                                JobResult(
+                                    _index, _key, None, error=repr(exc)
+                                ),
+                            )
+                        )
+
+                    pool.apply_async(
+                        _execute_indexed,
+                        (payload,),
+                        callback=on_done,
+                        error_callback=on_error,
+                    )
+            while done < total:
+                drain(block=True)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+        return timed
 
     def run_or_raise(self, jobs: Sequence[CompileJob]) -> list[JobResult]:
         """Like :meth:`run`, but re-raise the first job failure —

@@ -9,6 +9,7 @@ Commands
 ``compile``  compile one benchmark and print its statistics
 ``optimize`` run the post-compilation pass pipeline on one benchmark
 ``sweep``    batch-compile a circuits x machines x configs grid
+``load``     run a load scenario / soak against the batch engine
 ``info``     describe the machine model, compiler configs and passes
 
 Use ``--full`` (or ``REPRO_FULL=1``) for the complete 120-circuit
@@ -24,7 +25,7 @@ import sys
 
 from . import __version__, obs
 from .obs.report import render_report
-from .arch.presets import grid_machine, l6_machine, linear_machine, ring_machine
+from .arch.presets import machine_from_spec
 from .batch.cache import NullCache, ResultCache
 from .batch.jobs import sweep
 from .batch.records import build_records, write_csv, write_json
@@ -38,6 +39,12 @@ from .bench.suite import nisq_suite, paper_suite
 from .bench.supremacy import supremacy_circuit
 from .compiler.config import CompilerConfig
 from .eval.ablation import heuristic_ablation, proximity_sweep, render_sweep
+from .loadgen import (
+    PRESETS,
+    LoadRunner,
+    load_scenario,
+    render_load_report,
+)
 from .eval.figure8 import render_figure8
 from .eval.harness import compare, run_suite
 from .eval.report import render_optimization_table, render_table
@@ -88,18 +95,9 @@ _SWEEP_CONFIGS = {
 def _parse_machine(spec: str) -> object:
     """One machine spec: ``l6``, ``linearN``, ``ringN`` or ``gridRxC``."""
     try:
-        if spec == "l6":
-            return l6_machine()
-        if spec.startswith("linear"):
-            return linear_machine(int(spec[len("linear") :]))
-        if spec.startswith("ring"):
-            return ring_machine(int(spec[len("ring") :]))
-        if spec.startswith("grid"):
-            rows, cols = spec[len("grid") :].split("x")
-            return grid_machine(int(rows), int(cols))
-    except ValueError:
-        pass
-    raise SystemExit(f"unknown machine {spec!r}")
+        return machine_from_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _machine_from_args(args) -> object:
@@ -512,6 +510,39 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_load(args) -> int:
+    """Run one load scenario and print/export its LoadReport."""
+    try:
+        scenario = load_scenario(args.scenario)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    runner = LoadRunner(
+        scenario,
+        consumers=args.jobs,
+        seed=args.seed,
+        jobs=args.count,
+        duration=args.duration,
+    )
+    logger.info(
+        "load: scenario %s (%s loop, cache %s)",
+        runner.scenario.name,
+        runner.scenario.mode,
+        runner.scenario.cache,
+    )
+    report = runner.run()
+    print(render_load_report(report))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.report_out}")
+    if args.soak and not report.passed:
+        tripped = ", ".join(trip.name for trip in report.tripped)
+        logger.error("soak degradation detected: %s", tripped)
+        return 1
+    return 0
+
+
 def _cmd_info(args) -> int:
     machine = _machine_from_args(args)
     print(machine)
@@ -678,6 +709,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write the decision-event stream as JSON Lines",
     )
     p.set_defaults(handler=_cmd_trace)
+
+    p = sub.add_parser(
+        "load",
+        help="run a load scenario / soak against the batch engine",
+        description=(
+            "Generate scenario-driven traffic through the batch "
+            "engine and report throughput windows, tail latency "
+            "(p50/p90/p99), cache hit rate and memory growth. "
+            f"Bundled presets: {', '.join(sorted(PRESETS))}."
+        ),
+    )
+    p.add_argument(
+        "scenario",
+        help=f"a preset ({', '.join(sorted(PRESETS))}) or a scenario "
+        "JSON file (see repro.loadgen.Scenario.to_dict)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's consumer count (0 = one per CPU)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario seed (job draws are deterministic "
+        "per seed)",
+    )
+    volume = p.add_mutually_exclusive_group()
+    volume.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override traffic volume with a job count",
+    )
+    volume.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override traffic volume with a duration",
+    )
+    p.add_argument(
+        "--soak",
+        action="store_true",
+        help="exit 1 when a degradation threshold trips (memory "
+        "growth, latency drift, throughput sag)",
+    )
+    p.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the LoadReport JSON to PATH",
+    )
+    p.set_defaults(handler=_cmd_load)
 
     p = sub.add_parser(
         "sweep",

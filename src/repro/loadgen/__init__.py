@@ -1,0 +1,46 @@
+"""repro.loadgen — scenario-driven traffic generation and soak testing.
+
+The load harness turns the batch engine into a measurable service: a
+:class:`~repro.loadgen.scenario.Scenario` declares *what* traffic looks
+like (a weighted workload mix over paper-suite benchmarks and seeded
+random circuits, crossed with machine presets and compiler configs),
+*how* it arrives (``closed`` — N consumers kept saturated — or ``open``
+— arrivals at a fixed rate regardless of backlog), for *how long*
+(a job count or a duration), and the cache regime (``cold`` / ``warm``
+/ ``disabled``).  :class:`~repro.loadgen.runner.LoadRunner` executes it
+on :meth:`repro.batch.runner.BatchRunner.run_timed` under a live
+:mod:`repro.obs` observation while a sampling thread tracks RSS, and
+emits a :class:`~repro.loadgen.report.LoadReport`: throughput windows,
+p50/p90/p99 latency off the mergeable quantile buckets, cache hit-rate
+trend, memory growth, and — in soak mode — a pass/fail verdict from
+:mod:`repro.loadgen.soak`'s trend detectors.
+
+Everything is deterministic given the scenario seed: two runs of the
+same seeded scenario draw identical job lists (fingerprints included);
+only the wall-clock measurements differ.
+
+CLI: ``repro load <scenario>`` (see ``repro load --help`` and the
+bundled presets in :data:`~repro.loadgen.scenario.PRESETS`).
+"""
+
+from .report import LoadReport, render_load_report
+from .runner import LoadRunner
+from .sampling import Sampler, rss_kb
+from .scenario import PRESETS, Scenario, WorkloadItem, load_scenario
+from .soak import SoakThresholds, Trip, evaluate_soak, linear_slope
+
+__all__ = [
+    "PRESETS",
+    "LoadReport",
+    "LoadRunner",
+    "Sampler",
+    "Scenario",
+    "SoakThresholds",
+    "Trip",
+    "WorkloadItem",
+    "evaluate_soak",
+    "linear_slope",
+    "load_scenario",
+    "render_load_report",
+    "rss_kb",
+]

@@ -1,0 +1,90 @@
+"""The sampling loop: live RSS / progress series for a load run.
+
+One :class:`Sampler` daemon thread wakes every ``interval`` seconds
+while a load run executes and appends a sample row — elapsed time,
+parent-process RSS, and the completion counter exposed by the runner's
+progress callback.  Rows are plain dicts so they drop straight into
+the :class:`~repro.loadgen.report.LoadReport` JSON.
+
+RSS is read from ``/proc/self/statm`` (resident pages × page size) on
+Linux; elsewhere it degrades to ``ru_maxrss`` (a high-water mark, noted
+in the report) or ``None``.  Only the parent process is sampled: with
+worker pools the parent still accumulates results, caches, and any
+leaked references — exactly the growth a soak wants to see — while
+worker memory is bounded by job lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections.abc import Callable
+from time import perf_counter
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+
+def rss_kb() -> float | None:
+    """Current resident set size in KiB, or ``None`` when unknowable.
+
+    ``/proc/self/statm`` gives the live value; the ``getrusage``
+    fallback is a lifetime maximum (monotone, so growth *slopes* read
+    from it are a lower bound on live growth).
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE") / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak / 1024.0 if sys.platform == "darwin" else float(peak)
+
+
+class Sampler(threading.Thread):
+    """Daemon thread appending one sample row per ``interval``.
+
+    ``progress`` is a zero-argument callable returning the number of
+    completed jobs so far (reads of a counter the runner bumps under
+    the GIL — no locking needed).  :meth:`finish` takes a final sample,
+    stops the loop, and returns the collected rows.
+    """
+
+    def __init__(
+        self, interval: float, progress: Callable[[], int]
+    ) -> None:
+        super().__init__(name="loadgen-sampler", daemon=True)
+        self.interval = interval
+        self._progress = progress
+        self._halt = threading.Event()
+        self._t_zero = perf_counter()
+        self.samples: list[dict] = []
+
+    def _sample(self) -> None:
+        self.samples.append(
+            {
+                "t": perf_counter() - self._t_zero,
+                "rss_kb": rss_kb(),
+                "done": self._progress(),
+            }
+        )
+
+    def run(self) -> None:  # pragma: no cover - exercised via finish()
+        self._sample()
+        while not self._halt.wait(self.interval):
+            self._sample()
+
+    def finish(self) -> list[dict]:
+        """Stop the loop, take a closing sample, return every row."""
+        self._halt.set()
+        if self.is_alive():
+            self.join()
+        self._sample()
+        return self.samples

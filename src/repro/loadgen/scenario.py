@@ -1,0 +1,303 @@
+"""Scenario model: declarative traffic for the load harness.
+
+A :class:`Scenario` is plain data (JSON round-trippable) describing a
+traffic experiment; :meth:`Scenario.job_stream` turns it into an
+endless deterministic stream of :class:`~repro.batch.jobs.CompileJob`
+draws, and :meth:`Scenario.draw_jobs` materializes the first ``n``.
+
+Determinism contract: one ``random.Random(seed)`` instance drives
+every stochastic choice in draw order — workload-item selection,
+machine and config selection, and the per-draw circuit seeds of random
+workloads — so the same seeded scenario always expands to the same job
+list with the same fingerprints, no matter the consumer count or
+arrival shape (tested in ``tests/test_loadgen.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from collections.abc import Iterator
+from dataclasses import asdict, dataclass, field
+
+from ..arch.presets import machine_from_spec
+from ..batch.jobs import CompileJob
+from ..bench.qaoa import qaoa_circuit
+from ..bench.qft import qft_circuit
+from ..bench.quadraticform import quadratic_form_circuit
+from ..bench.random_circuits import random_circuit
+from ..bench.squareroot import squareroot_circuit
+from ..bench.supremacy import supremacy_circuit
+from ..circuits.circuit import Circuit
+from ..compiler.config import CompilerConfig
+
+#: Named paper-suite generators available to ``bench`` workload items.
+#: ``qft``/``qaoa`` honor the item's ``qubits`` knob; the other three
+#: are fixed at their paper sizes (their size axes are not a single
+#: qubit count).
+_BENCH_FACTORIES = {
+    "qft": lambda qubits: qft_circuit(qubits or 64),
+    "qaoa": lambda qubits: qaoa_circuit(qubits or 64),
+    "supremacy": lambda qubits: supremacy_circuit(),
+    "squareroot": lambda qubits: squareroot_circuit(),
+    "quadraticform": lambda qubits: quadratic_form_circuit(),
+}
+
+_CONFIG_FACTORIES = {
+    "baseline": CompilerConfig.baseline,
+    "optimized": CompilerConfig.optimized,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One weighted entry of a scenario's workload mix.
+
+    ``kind`` is ``"random"`` (a fresh seeded random circuit per draw —
+    ``qubits``/``gates``/``family`` as in
+    :func:`repro.bench.random_circuits.random_circuit`) or ``"bench"``
+    (the named paper-suite generator, built once and reused, since the
+    generator is deterministic).
+    """
+
+    kind: str
+    weight: float = 1.0
+    name: str = ""
+    qubits: int | None = None
+    gates: int | None = None
+    family: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("random", "bench"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError(f"workload weight must be > 0, got {self.weight}")
+        if self.kind == "bench" and self.name not in _BENCH_FACTORIES:
+            raise ValueError(
+                f"unknown bench workload {self.name!r}; "
+                f"choose from {sorted(_BENCH_FACTORIES)}"
+            )
+        if self.kind == "random" and not self.qubits:
+            raise ValueError("random workload items need a qubit count")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative load experiment (see the module docstring)."""
+
+    name: str
+    mix: tuple[WorkloadItem, ...]
+    description: str = ""
+    machines: tuple[str, ...] = ("l6",)
+    configs: tuple[str, ...] = ("optimized",)
+    #: ``closed`` — ``consumers`` workers stay saturated; ``open`` —
+    #: arrivals at ``rate`` jobs/s independent of service progress.
+    mode: str = "closed"
+    consumers: int = 2
+    rate: float | None = None
+    #: Traffic volume: a job count, a duration in seconds, or both
+    #: (duration wins for open loops, where it fixes the arrival
+    #: timeline; closed loops draw jobs until the deadline).
+    jobs: int | None = None
+    duration: float | None = None
+    cache: str = "disabled"
+    simulate: bool = False
+    seed: int = 2022
+    #: Sampling-loop period and report window width, seconds.
+    sample_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError("scenario needs at least one workload item")
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"unknown arrival mode {self.mode!r}")
+        if self.cache not in ("cold", "warm", "disabled"):
+            raise ValueError(f"unknown cache mode {self.cache!r}")
+        if self.mode == "open" and not self.rate:
+            raise ValueError("open-loop scenarios need a rate (jobs/s)")
+        if self.jobs is None and self.duration is None:
+            raise ValueError("scenario needs a job count or a duration")
+        for spec in self.machines:
+            machine_from_spec(spec)  # fail fast on typos
+        for config in self.configs:
+            if config not in _CONFIG_FACTORIES:
+                raise ValueError(
+                    f"unknown config {config!r}; "
+                    f"choose from {sorted(_CONFIG_FACTORIES)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Deterministic job expansion
+    # ------------------------------------------------------------------
+    def job_stream(self, seed: int | None = None) -> Iterator[CompileJob]:
+        """Endless deterministic job draws (see module docstring)."""
+        rng = random.Random(self.seed if seed is None else seed)
+        machines = [machine_from_spec(spec) for spec in self.machines]
+        configs = [_CONFIG_FACTORIES[name]() for name in self.configs]
+        weights = [item.weight for item in self.mix]
+        bench_cache: dict[WorkloadItem, Circuit] = {}
+        while True:
+            item = rng.choices(self.mix, weights=weights)[0]
+            if item.kind == "random":
+                circuit = random_circuit(
+                    item.qubits,
+                    item.gates or 120,
+                    seed=rng.randrange(1 << 30),
+                    family=item.family,
+                )
+            else:
+                circuit = bench_cache.get(item)
+                if circuit is None:
+                    circuit = _BENCH_FACTORIES[item.name](item.qubits)
+                    bench_cache[item] = circuit
+            yield CompileJob(
+                circuit=circuit,
+                machine=rng.choice(machines),
+                config=rng.choice(configs),
+                simulate=self.simulate,
+            )
+
+    def draw_jobs(self, n: int, seed: int | None = None) -> list[CompileJob]:
+        """The first ``n`` draws of :meth:`job_stream`."""
+        stream = self.job_stream(seed)
+        return [next(stream) for _ in range(n)]
+
+    def job_count(self) -> int | None:
+        """Total jobs when knowable upfront: the explicit count, or the
+        arrival timeline's length for duration-bounded open loops.
+        ``None`` for duration-bounded closed loops (drawn until the
+        deadline)."""
+        if self.mode == "open" and self.duration is not None:
+            return max(1, math.ceil(self.rate * self.duration))
+        return self.jobs
+
+    def arrivals(self, n: int) -> list[float] | None:
+        """The arrival timeline for ``n`` jobs: evenly paced at
+        ``rate`` for open loops, ``None`` (all at once) for closed."""
+        if self.mode == "open":
+            return [i / self.rate for i in range(n)]
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able scenario document (``from_dict`` round-trips)."""
+        data = asdict(self)
+        data["mix"] = [asdict(item) for item in self.mix]
+        data["machines"] = list(self.machines)
+        data["configs"] = list(self.configs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Build a scenario from a :meth:`to_dict`-shaped document."""
+        payload = dict(data)
+        payload["mix"] = tuple(
+            WorkloadItem(**item) for item in payload.get("mix", ())
+        )
+        for key in ("machines", "configs"):
+            if key in payload:
+                payload[key] = tuple(payload[key])
+        return cls(**payload)
+
+
+def _mix(*items: WorkloadItem) -> tuple[WorkloadItem, ...]:
+    return tuple(items)
+
+
+#: Bundled scenario presets (``repro load <name>``).  Sizes are chosen
+#: so ``smoke`` finishes in seconds, ``steady``/``paced`` in tens of
+#: seconds, and ``soak-short`` fits the weekly CI budget (~2 min).
+PRESETS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="smoke",
+            description="Tiny cache-free mix: the fastest end-to-end check.",
+            mix=_mix(
+                WorkloadItem("random", weight=2, qubits=12, gates=60),
+                WorkloadItem("random", weight=1, qubits=16, gates=80),
+                WorkloadItem("bench", weight=1, name="qft", qubits=12),
+            ),
+            machines=("linear3",),
+            mode="closed",
+            consumers=2,
+            jobs=12,
+            cache="disabled",
+            sample_interval=0.25,
+        ),
+        Scenario(
+            name="steady",
+            description="Mixed small/mid workload, both compilers, cold cache.",
+            mix=_mix(
+                WorkloadItem("random", weight=3, qubits=16, gates=90),
+                WorkloadItem("random", weight=2, qubits=24, gates=140),
+                WorkloadItem("bench", weight=1, name="qft", qubits=16),
+                WorkloadItem("bench", weight=1, name="qaoa", qubits=16),
+            ),
+            machines=("linear4",),
+            configs=("baseline", "optimized"),
+            mode="closed",
+            consumers=4,
+            jobs=48,
+            cache="cold",
+        ),
+        Scenario(
+            name="paced",
+            description="Open-loop arrivals at a fixed rate: queueing visible.",
+            mix=_mix(
+                WorkloadItem("random", weight=2, qubits=16, gates=90),
+                WorkloadItem("bench", weight=1, name="qft", qubits=16),
+            ),
+            machines=("linear4",),
+            mode="open",
+            consumers=2,
+            rate=6.0,
+            jobs=30,
+            cache="cold",
+        ),
+        Scenario(
+            name="soak-short",
+            description="~2-minute closed-loop soak for the weekly CI gate.",
+            mix=_mix(
+                WorkloadItem("random", weight=3, qubits=16, gates=100),
+                WorkloadItem("random", weight=2, qubits=24, gates=150),
+                WorkloadItem("bench", weight=1, name="qft", qubits=16),
+            ),
+            machines=("linear4",),
+            mode="closed",
+            consumers=2,
+            duration=110.0,
+            cache="cold",
+            sample_interval=2.0,
+        ),
+        Scenario(
+            name="bench-pin",
+            description="Pinned short scenario for benchmarks/bench_load.py.",
+            mix=_mix(WorkloadItem("random", qubits=48, gates=800)),
+            machines=("linear4",),
+            mode="closed",
+            consumers=2,
+            jobs=32,
+            cache="disabled",
+            seed=20220308,
+            sample_interval=0.25,
+        ),
+    )
+}
+
+
+def load_scenario(spec: str) -> Scenario:
+    """Resolve a scenario argument: a preset name or a JSON file path."""
+    preset = PRESETS.get(spec)
+    if preset is not None:
+        return preset
+    if spec.endswith(".json"):
+        with open(spec, encoding="utf-8") as handle:
+            return Scenario.from_dict(json.load(handle))
+    raise ValueError(
+        f"unknown scenario {spec!r}; choose a preset "
+        f"({', '.join(sorted(PRESETS))}) or a .json scenario file"
+    )

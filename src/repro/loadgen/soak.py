@@ -1,0 +1,160 @@
+"""Degradation detection: windowed trend analysis for soak runs.
+
+A soak turns "ran for two minutes without crashing" into a pass/fail
+gate by checking three trends over the run:
+
+* **memory growth** — the least-squares slope of the RSS series
+  (KiB/s).  A healthy steady-state run plateaus; an unbounded cache or
+  a leaked schedule grows linearly and trips the slope threshold.
+* **latency drift** — the mean per-window latency of the last third of
+  windows over the first third.  Ratios near 1 are steady; a drifting
+  ratio means per-job cost is growing with run age.
+* **throughput sag** — the same last-third/first-third ratio on
+  per-window completion rates, tripping when it *falls* below the
+  threshold.
+
+Thirds-based ratios rather than raw endpoint slopes make the latency
+and throughput checks robust to single-window noise; the memory check
+keeps the slope form because RSS is already smooth (sampled, not
+per-job) and a KiB/s number is what a leak report wants.  All
+detectors are pure functions over plain number lists, so synthetic
+streams can unit-test the trip conditions exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def linear_slope(points: Sequence[tuple[float, float]]) -> float:
+    """Least-squares slope of ``(x, y)`` points (0.0 when degenerate)."""
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    if var_x == 0.0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return cov / var_x
+
+
+def thirds_ratio(values: Sequence[float]) -> float | None:
+    """``mean(last third) / mean(first third)``, or ``None`` when the
+    series is too short (fewer than 3 values) or the first third's
+    mean is zero."""
+    n = len(values)
+    if n < 3:
+        return None
+    third = max(1, n // 3)
+    first = sum(values[:third]) / third
+    last = sum(values[-third:]) / third
+    if first == 0.0:
+        return None
+    return last / first
+
+
+@dataclass(frozen=True)
+class SoakThresholds:
+    """Trip levels for :func:`evaluate_soak` (defaults sized for the
+    bundled soak presets; override per scenario as needed)."""
+
+    #: Maximum tolerated RSS slope, KiB per second.
+    max_memory_slope_kb_per_s: float = 256.0
+    #: Minimum seconds between the first and last RSS sample before a
+    #: slope is conclusive — allocator warm-up over a sub-second run
+    #: extrapolates to absurd KiB/s figures that say nothing.
+    min_memory_span_seconds: float = 5.0
+    #: Maximum tolerated latency thirds-ratio (1.0 = perfectly flat).
+    max_latency_drift: float = 1.75
+    #: Minimum tolerated throughput thirds-ratio (sag below this trips).
+    min_throughput_ratio: float = 0.60
+    #: Minimum windows before drift/sag verdicts are meaningful; with
+    #: fewer, those checks report ``value=None`` and never trip.
+    min_windows: int = 6
+
+
+@dataclass
+class Trip:
+    """One detector verdict: measured value vs its threshold."""
+
+    name: str
+    value: float | None
+    threshold: float
+    tripped: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "threshold": self.threshold,
+            "tripped": self.tripped,
+        }
+
+
+def evaluate_soak(
+    memory_samples: Sequence[tuple[float, float]],
+    window_latency_means: Sequence[float],
+    window_throughputs: Sequence[float],
+    thresholds: SoakThresholds | None = None,
+) -> list[Trip]:
+    """Run all three detectors; always returns three :class:`Trip`\\ s.
+
+    ``memory_samples`` are ``(seconds, rss_kb)`` points;
+    ``window_latency_means``/``window_throughputs`` are the per-window
+    series off the load report.  A detector whose input is too short
+    (or unavailable — e.g. RSS unreadable) reports ``value=None`` and
+    does not trip: an inconclusive soak is not a failed soak.
+    """
+    t = thresholds or SoakThresholds()
+    trips: list[Trip] = []
+
+    span = (
+        memory_samples[-1][0] - memory_samples[0][0]
+        if len(memory_samples) >= 2
+        else 0.0
+    )
+    slope = (
+        linear_slope(memory_samples)
+        if span >= t.min_memory_span_seconds
+        else None
+    )
+    trips.append(
+        Trip(
+            "memory_growth_slope_kb_per_s",
+            slope,
+            t.max_memory_slope_kb_per_s,
+            slope is not None and slope > t.max_memory_slope_kb_per_s,
+        )
+    )
+
+    drift = (
+        thirds_ratio(window_latency_means)
+        if len(window_latency_means) >= t.min_windows
+        else None
+    )
+    trips.append(
+        Trip(
+            "latency_drift_ratio",
+            drift,
+            t.max_latency_drift,
+            drift is not None and drift > t.max_latency_drift,
+        )
+    )
+
+    sag = (
+        thirds_ratio(window_throughputs)
+        if len(window_throughputs) >= t.min_windows
+        else None
+    )
+    trips.append(
+        Trip(
+            "throughput_sag_ratio",
+            sag,
+            t.min_throughput_ratio,
+            sag is not None and sag < t.min_throughput_ratio,
+        )
+    )
+    return trips

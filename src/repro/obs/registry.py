@@ -23,26 +23,54 @@ order:
     manager (or an explicit ``observe(name, seconds)``).
 
 Merge semantics (DESIGN.md §9): counters add, histograms combine
-(counts and sums add, min/max widen), gauges take the incoming value —
-a gauge is "last observation wins", and the merging side is by
-definition observing later.
+(counts and sums add, min/max widen, bucket counts add), gauges take
+the incoming value — a gauge is "last observation wins", and the
+merging side is by definition observing later.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from time import perf_counter
+
+#: Fixed quantile-bucket boundaries shared by every histogram: four
+#: log-spaced buckets per octave (upper edges 2**(i/4) apart, ~19%
+#: wide) from 1 µs up to ~2147 s.  Bucket ``i`` counts values in
+#: ``(BUCKET_BOUNDS[i-1], BUCKET_BOUNDS[i]]`` (bucket 0 also absorbs
+#: everything ≤ 1 µs, a final overflow bucket everything beyond the
+#: last edge), so a quantile read off the merged counts is exact to
+#: one bucket width.  The boundaries are a module constant — never
+#: serialized — which is what makes snapshots mergeable across
+#: processes and across releases (DESIGN.md §10).
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 2.0 ** (i / 4.0) for i in range(124)
+)
+
+#: The quantiles summarized by :meth:`HistogramSummary.to_dict`.
+SUMMARY_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
 
 
 class HistogramSummary:
-    """count/sum/min/max summary of an observed value stream."""
+    """count/sum/min/max + fixed-bucket quantile summary of a stream.
 
-    __slots__ = ("count", "total", "min", "max")
+    Quantiles are bucketed, not exact: :meth:`observe` drops each value
+    into one of the :data:`BUCKET_BOUNDS` buckets, and
+    :meth:`quantile` answers with that bucket's upper edge clamped into
+    ``[min, max]``.  Because bucket counts add, quantiles *survive*
+    :meth:`merge_dict` — merging any partition of a value stream in
+    any order yields identical percentiles (unlike a mean-of-means).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: Sparse bucket-index -> count map (indices into
+        #: :data:`BUCKET_BOUNDS`; ``len(BUCKET_BOUNDS)`` = overflow).
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -51,27 +79,70 @@ class HistogramSummary:
             self.min = value
         if value > self.max:
             self.max = value
+        index = bisect_left(BUCKET_BOUNDS, value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the bucketed distribution.
+
+        Answers the upper edge of the bucket holding the rank-``q``
+        observation, clamped into ``[min, max]`` — exact for a
+        single-valued stream, within one bucket width (~19%) otherwise.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    edge = BUCKET_BOUNDS[index]
+                else:
+                    edge = self.max
+                return min(max(edge, self.min), self.max)
+        return self.max
+
+    def percentiles(self) -> dict:
+        """The :data:`SUMMARY_QUANTILES` as a plain dict."""
+        return {name: self.quantile(q) for name, q in SUMMARY_QUANTILES}
+
     def to_dict(self) -> dict:
-        """Plain-JSON summary (``min``/``max`` omitted while empty)."""
+        """Plain-JSON summary (``min``/``max``/``buckets``/percentiles
+        omitted while empty).  Bucket keys are strings so the payload
+        round-trips through JSON unchanged."""
         out = {"count": self.count, "sum": self.total}
         if self.count:
             out["min"] = self.min
             out["max"] = self.max
+            out.update(self.percentiles())
+            out["buckets"] = {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            }
         return out
 
     def merge_dict(self, data: dict) -> None:
-        """Fold a :meth:`to_dict` payload into this summary."""
+        """Fold a :meth:`to_dict` payload into this summary.
+
+        Bucket counts add (string or int keys accepted), so quantiles
+        of the merged summary equal quantiles of the concatenated
+        streams regardless of merge order.  Payloads recorded before
+        buckets existed merge their count/sum/min/max only.
+        """
         self.count += data["count"]
         self.total += data["sum"]
         if "min" in data and data["min"] < self.min:
             self.min = data["min"]
         if "max" in data and data["max"] > self.max:
             self.max = data["max"]
+        for key, bucket_count in data.get("buckets", {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

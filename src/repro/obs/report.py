@@ -34,9 +34,13 @@ def render_metrics(observation: Observation) -> str:
     width = max((len(n) for n in hist_names), default=0)
     for name in hist_names:
         hist = metrics.histograms[name]
+        quantiles = "  ".join(
+            f"{label}={value:.6f}"
+            for label, value in hist.percentiles().items()
+        )
         lines.append(
             f"  {name:<{width}}  n={hist.count}"
-            f"  sum={hist.total:.4f}  mean={hist.mean:.6f}"
+            f"  sum={hist.total:.4f}  mean={hist.mean:.6f}  {quantiles}"
         )
     return "\n".join(lines) if lines else "  (no metrics recorded)"
 

@@ -282,3 +282,60 @@ class TestTraceCommand:
         with pytest.raises(SystemExit):
             main(["sweep", "--benchmarks", "random:10:30:1",
                   "--passes", "frobnicate", "--dry-run"])
+
+
+class TestLoadCommand:
+    def test_load_arguments(self):
+        args = build_parser().parse_args(
+            ["load", "smoke", "--jobs", "4", "--seed", "9",
+             "--count", "6", "--soak", "--report-out", "r.json"]
+        )
+        assert args.command == "load"
+        assert args.scenario == "smoke"
+        assert args.jobs == 4
+        assert args.seed == 9
+        assert args.count == 6
+        assert args.soak
+
+    def test_count_and_duration_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["load", "smoke", "--count", "4", "--duration", "2"]
+            )
+
+    def test_load_smoke_end_to_end(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(
+            ["load", "smoke", "--count", "6", "--seed", "3",
+             "--report-out", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load report: smoke" in out
+        assert "p50" in out and "soak: " in out
+        document = json.loads(path.read_text())
+        assert document["counts"]["jobs"] == 6
+        assert document["seed"] == 3
+        assert {"p50", "p90", "p99"} <= set(document["latency"])
+        assert document["throughput"]["windows"]
+        assert document["memory"]["samples"]
+        assert document["metrics"]["counters"]["load.jobs"] == 6
+
+    def test_load_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["load", "no-such-scenario"])
+
+    def test_load_scenario_file(self, tmp_path, capsys):
+        import json
+
+        from repro.loadgen import PRESETS
+
+        spec = tmp_path / "mini.json"
+        document = PRESETS["smoke"].to_dict()
+        document["name"] = "mini"
+        document["jobs"] = 4
+        spec.write_text(json.dumps(document))
+        assert main(["load", str(spec)]) == 0
+        assert "load report: mini" in capsys.readouterr().out

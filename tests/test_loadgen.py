@@ -1,0 +1,382 @@
+"""Load-harness tests: scenario determinism, soak detectors, failed-job
+accounting through the metrics spine, and end-to-end LoadReport assembly
+(including the serial-vs-parallel merge-equality regression)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.arch import linear_topology, uniform_machine
+from repro.batch import BatchRunner, CompileJob
+from repro.bench import random_circuit
+from repro.compiler.config import CompilerConfig
+from repro.loadgen import (
+    PRESETS,
+    LoadRunner,
+    Scenario,
+    SoakThresholds,
+    WorkloadItem,
+    evaluate_soak,
+    linear_slope,
+    load_scenario,
+    render_load_report,
+    rss_kb,
+)
+
+
+def tiny_scenario(**overrides):
+    """A fast cache-free closed-loop scenario for end-to-end tests."""
+    defaults = dict(
+        name="tiny",
+        mix=(
+            WorkloadItem("random", weight=2, qubits=12, gates=50),
+            WorkloadItem("bench", weight=1, name="qft", qubits=10),
+        ),
+        machines=("linear3",),
+        consumers=2,
+        jobs=8,
+        cache="disabled",
+        seed=7,
+        sample_interval=0.2,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Scenario model: determinism, serialization, validation
+# ----------------------------------------------------------------------
+class TestScenario:
+    def test_same_seed_same_jobs(self):
+        scenario = tiny_scenario(jobs=24)
+        first = scenario.draw_jobs(24)
+        second = scenario.draw_jobs(24)
+        assert [j.label for j in first] == [j.label for j in second]
+        assert [j.fingerprint() for j in first] == [
+            j.fingerprint() for j in second
+        ]
+
+    def test_seed_changes_jobs(self):
+        scenario = tiny_scenario(jobs=24)
+        base = [j.fingerprint() for j in scenario.draw_jobs(24)]
+        reseeded = [j.fingerprint() for j in scenario.draw_jobs(24, seed=99)]
+        assert base != reseeded
+
+    def test_stream_independent_of_consumers_and_mode(self):
+        # The job stream depends only on the seed and the mix — not on
+        # how the traffic is shaped or how many consumers drain it.
+        import dataclasses
+
+        scenario = tiny_scenario(jobs=16)
+        base = [j.fingerprint() for j in scenario.draw_jobs(16)]
+        reshaped = dataclasses.replace(
+            scenario, consumers=5, mode="open", rate=10.0
+        )
+        assert [j.fingerprint() for j in reshaped.draw_jobs(16)] == base
+
+    def test_dict_round_trip_preserves_draws(self):
+        scenario = tiny_scenario(jobs=12)
+        clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert clone == scenario
+        assert [j.fingerprint() for j in clone.draw_jobs(12)] == [
+            j.fingerprint() for j in scenario.draw_jobs(12)
+        ]
+
+    def test_load_scenario_resolves_presets(self):
+        for name, preset in PRESETS.items():
+            assert load_scenario(name) is preset
+
+    def test_load_scenario_reads_json_file(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps(tiny_scenario().to_dict()))
+        assert load_scenario(str(path)) == tiny_scenario()
+
+    def test_load_scenario_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            load_scenario("no-such-preset")
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mix": ()},
+            {"mode": "lumpy"},
+            {"cache": "tepid"},
+            {"mode": "open", "rate": None},
+            {"jobs": None, "duration": None},
+            {"machines": ("hexagonal9",)},
+            {"configs": ("turbo",)},
+        ],
+    )
+    def test_scenario_validation(self, overrides):
+        with pytest.raises(ValueError):
+            tiny_scenario(**overrides)
+
+    def test_workload_item_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            WorkloadItem("mystery")
+        with pytest.raises(ValueError, match="weight"):
+            WorkloadItem("random", weight=0, qubits=8)
+        with pytest.raises(ValueError, match="bench workload"):
+            WorkloadItem("bench", name="no-such-bench")
+        with pytest.raises(ValueError, match="qubit count"):
+            WorkloadItem("random")
+
+    def test_open_loop_count_and_arrivals(self):
+        scenario = tiny_scenario(
+            mode="open", rate=4.0, jobs=None, duration=2.5
+        )
+        assert scenario.job_count() == 10  # ceil(4.0 * 2.5)
+        arrivals = scenario.arrivals(10)
+        assert arrivals[0] == 0.0
+        assert arrivals[1] == pytest.approx(0.25)
+        assert arrivals[-1] == pytest.approx(2.25)
+
+    def test_closed_loop_arrivals_are_none(self):
+        assert tiny_scenario().arrivals(8) is None
+        assert tiny_scenario(jobs=None, duration=3.0).job_count() is None
+
+    def test_presets_are_valid_and_distinct(self):
+        assert set(PRESETS) == {
+            "smoke", "steady", "paced", "soak-short", "bench-pin"
+        }
+        for preset in PRESETS.values():
+            assert preset.job_count() is None or preset.job_count() > 0
+
+
+# ----------------------------------------------------------------------
+# Soak detectors on synthetic streams
+# ----------------------------------------------------------------------
+class TestSoakDetectors:
+    def test_linear_slope_recovers_known_line(self):
+        points = [(t, 100.0 + 12.5 * t) for t in range(10)]
+        assert linear_slope(points) == pytest.approx(12.5)
+        assert linear_slope([(0.0, 5.0)]) == 0.0
+        assert linear_slope([(1.0, 2.0), (1.0, 9.0)]) == 0.0
+
+    def _trip_map(self, memory, latency, throughput, **thresholds):
+        trips = evaluate_soak(
+            memory, latency, throughput, SoakThresholds(**thresholds)
+        )
+        return {trip.name: trip for trip in trips}
+
+    def test_memory_growth_trips(self):
+        # 512 KiB/s growth over a 20 s span vs a 256 KiB/s threshold.
+        leaking = [(float(t), 50_000.0 + 512.0 * t) for t in range(21)]
+        trip = self._trip_map(leaking, [], [])["memory_growth_slope_kb_per_s"]
+        assert trip.tripped
+        assert trip.value == pytest.approx(512.0)
+
+    def test_flat_memory_passes(self):
+        flat = [(float(t), 50_000.0 + (t % 2)) for t in range(21)]
+        trip = self._trip_map(flat, [], [])["memory_growth_slope_kb_per_s"]
+        assert not trip.tripped
+
+    def test_short_span_memory_is_inconclusive(self):
+        # The same absurd slope over 0.1 s must not trip: allocator
+        # warm-up extrapolated over a sub-second run means nothing.
+        burst = [(0.0, 50_000.0), (0.1, 80_000.0)]
+        trip = self._trip_map(burst, [], [])["memory_growth_slope_kb_per_s"]
+        assert trip.value is None
+        assert not trip.tripped
+
+    def test_latency_drift_trips_and_flat_passes(self):
+        drifting = [0.010 * (1.0 + 0.2 * i) for i in range(12)]
+        flat = [0.010] * 12
+        assert self._trip_map([], drifting, [])["latency_drift_ratio"].tripped
+        steady = self._trip_map([], flat, [])["latency_drift_ratio"]
+        assert not steady.tripped
+        assert steady.value == pytest.approx(1.0)
+
+    def test_throughput_sag_trips_and_flat_passes(self):
+        sagging = [40.0] * 4 + [30.0] * 4 + [15.0] * 4
+        flat = [40.0] * 12
+        assert self._trip_map([], [], sagging)["throughput_sag_ratio"].tripped
+        assert not self._trip_map([], [], flat)["throughput_sag_ratio"].tripped
+
+    def test_few_windows_are_inconclusive(self):
+        # A drift that WOULD trip with enough windows reports None below
+        # min_windows — an inconclusive soak is not a failed soak.
+        short = [0.010, 0.010, 0.100]
+        result = self._trip_map([], short, short)
+        assert result["latency_drift_ratio"].value is None
+        assert not result["latency_drift_ratio"].tripped
+        assert result["throughput_sag_ratio"].value is None
+
+    def test_evaluate_soak_always_reports_three(self):
+        trips = evaluate_soak([], [], [])
+        assert [t.name for t in trips] == [
+            "memory_growth_slope_kb_per_s",
+            "latency_drift_ratio",
+            "throughput_sag_ratio",
+        ]
+        assert all(t.value is None and not t.tripped for t in trips)
+        assert all(set(t.to_dict()) == {
+            "name", "value", "threshold", "tripped"
+        } for t in trips)
+
+    def test_rss_readable_on_linux(self):
+        value = rss_kb()
+        # The suite runs on Linux where /proc is available; the value
+        # must be a sane positive resident size.
+        assert value is not None and value > 1000.0
+
+
+# ----------------------------------------------------------------------
+# Failed jobs keep flowing through the metrics spine (regression)
+# ----------------------------------------------------------------------
+class TestFailedJobAccounting:
+    def _mixed_jobs(self):
+        machine = uniform_machine(linear_topology(3), 6, 2)
+        too_small = uniform_machine(linear_topology(2), 4, 2)
+        config = CompilerConfig.baseline()
+        return [
+            CompileJob(random_circuit(10, 50, seed=1), machine, config),
+            CompileJob(random_circuit(10, 50, seed=2), too_small, config),
+            CompileJob(random_circuit(10, 50, seed=3), machine, config),
+        ]
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_outcome_counters_survive_failures(self, n_jobs):
+        # Regression: a failed job must still ship its worker-side
+        # metrics snapshot and be counted, at every pool size.
+        with obs.observe() as observation:
+            results = BatchRunner(n_jobs=n_jobs).run(self._mixed_jobs())
+        counters = observation.metrics.counters
+        assert counters["batch.jobs_ok"] == 2
+        assert counters["batch.jobs_failed"] == 1
+        failed = [r for r in results if not r.ok]
+        assert len(failed) == 1
+        # Service time is recorded for failures too, so load reports
+        # can attribute latency to errored work.
+        assert failed[0].seconds is not None and failed[0].seconds > 0.0
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_run_timed_records_failures(self, n_jobs):
+        timed = BatchRunner(n_jobs=n_jobs).run_timed(self._mixed_jobs())
+        assert len(timed) == 3
+        by_index = {t.result.job_index: t for t in timed}
+        assert not by_index[1].result.ok
+        assert by_index[1].result.seconds is not None
+        for entry in timed:
+            assert entry.finished >= entry.dispatched >= entry.arrival
+
+    def test_load_report_counts_errored_work(self):
+        # 40-qubit circuits cannot fit a linear2 machine: every job
+        # fails, and the report must still account for all of them.
+        scenario = tiny_scenario(
+            mix=(WorkloadItem("random", qubits=40, gates=40),),
+            machines=("linear2",),
+            jobs=4,
+        )
+        report = LoadRunner(scenario).run()
+        assert report.counts == {
+            "jobs": 4, "ok": 0, "failed": 4,
+            "cache_hits": 0, "cache_misses": 4,
+        }
+        assert report.latency["count"] == 4  # errored work has latency
+        assert report.metrics["counters"]["load.failed"] == 4
+        assert report.metrics["counters"]["batch.jobs_failed"] == 4
+
+
+# ----------------------------------------------------------------------
+# End-to-end LoadRunner runs
+# ----------------------------------------------------------------------
+class TestLoadRunner:
+    def test_smoke_preset_end_to_end(self):
+        report = LoadRunner(PRESETS["smoke"]).run()
+        assert report.counts["jobs"] == 12
+        assert report.counts["failed"] == 0
+        latency = report.latency
+        assert latency["source"] == "service"
+        assert latency["count"] == 12
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert latency["min"] <= latency["p50"] <= latency["max"]
+        assert report.throughput["windows"]
+        assert sum(w["jobs"] for w in report.throughput["windows"]) == 12
+        assert report.memory["samples"]
+        assert report.passed  # smoke is far too short to trip anything
+
+    def test_report_serializes_and_renders(self, tmp_path):
+        report = LoadRunner(tiny_scenario(jobs=4)).run()
+        payload = json.dumps(report.to_dict(), indent=2)
+        parsed = json.loads(payload)
+        assert parsed["soak"]["passed"] == report.passed
+        assert {"scenario", "counts", "throughput", "latency",
+                "memory", "cache", "metrics"} <= set(parsed)
+        text = render_load_report(report)
+        assert "tiny" in text
+        assert "p50" in text and "soak" in text
+
+    def test_overrides_replace_scenario_fields(self):
+        runner = LoadRunner(
+            PRESETS["soak-short"], consumers=1, seed=5, jobs=3
+        )
+        assert runner.scenario.consumers == 1
+        assert runner.scenario.seed == 5
+        assert runner.scenario.jobs == 3
+        assert runner.scenario.duration is None  # count override wins
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_parallel_merge_equals_serial(self, n_jobs):
+        # The acceptance bar: identical counter and histogram merges no
+        # matter the pool size (cache disabled, so outcomes cannot vary
+        # with completion timing).
+        scenario = tiny_scenario(jobs=8)
+        baseline = LoadRunner(scenario, consumers=1).run()
+        candidate = LoadRunner(scenario, consumers=n_jobs).run()
+        assert candidate.counts == baseline.counts
+        base_counters = baseline.metrics["counters"]
+        cand_counters = candidate.metrics["counters"]
+        for key in ("load.jobs", "load.ok", "batch.jobs_ok",
+                    "batch.jobs", "batch.cache_misses"):
+            assert cand_counters.get(key) == base_counters.get(key), key
+        base_hist = baseline.metrics["histograms"]["load.latency_seconds"]
+        cand_hist = candidate.metrics["histograms"]["load.latency_seconds"]
+        assert cand_hist["count"] == base_hist["count"] == 8
+
+    def test_open_loop_reports_sojourn(self):
+        scenario = tiny_scenario(
+            mode="open", rate=40.0, consumers=2, jobs=8
+        )
+        report = LoadRunner(scenario).run()
+        assert report.latency["source"] == "sojourn"
+        assert report.counts["jobs"] == 8
+        # Open-loop wall time is bounded below by the arrival timeline.
+        assert report.duration_seconds >= 7 / 40.0
+
+    def test_warm_cache_serves_hits(self):
+        # A deterministic bench-only mix prewarms to exactly the
+        # measured job list: every measured request is a cache hit.
+        scenario = tiny_scenario(
+            mix=(WorkloadItem("bench", name="qft", qubits=10),),
+            cache="warm",
+            jobs=6,
+        )
+        report = LoadRunner(scenario).run()
+        assert report.counts["cache_hits"] == 6
+        assert report.cache == {"mode": "warm", "hit_rate": 1.0}
+        assert report.latency["count"] == 6  # hits still have latency
+
+    def test_cold_cache_dedups_nothing_but_hits_repeats(self):
+        # One deterministic circuit drawn 6 times with a cold cache:
+        # the first compile misses, later arrivals may hit.  All jobs
+        # are accounted either way and at least one compile happened.
+        scenario = tiny_scenario(
+            mix=(WorkloadItem("bench", name="qft", qubits=10),),
+            cache="cold",
+            consumers=1,
+            jobs=6,
+        )
+        report = LoadRunner(scenario).run()
+        assert report.counts["jobs"] == 6
+        assert report.counts["cache_misses"] >= 1
+        assert report.counts["cache_hits"] == 6 - report.counts["cache_misses"]
+
+    def test_duration_bounded_closed_loop_terminates(self):
+        scenario = tiny_scenario(jobs=None, duration=0.5, sample_interval=0.1)
+        report = LoadRunner(scenario).run()
+        assert report.counts["jobs"] > 0
+        assert report.counts["jobs"] == report.counts["ok"]
+        # The run stops within a chunk of the deadline, not at a count.
+        assert report.duration_seconds >= 0.5

@@ -451,3 +451,107 @@ class TestBatchMetricsMerge:
         # resolved from cache, so it never enters the dedup set).
         assert warm.metrics.counter("cache.hits") == 4
         assert warm.metrics.counter("cache.misses") == 0
+
+
+# ----------------------------------------------------------------------
+# Fixed-bucket quantiles: merge-stable percentiles
+# ----------------------------------------------------------------------
+class TestQuantileBuckets:
+    def _values(self):
+        # A deterministic mixed-scale stream spanning several octaves.
+        import random
+
+        rng = random.Random(42)
+        return [rng.uniform(0.0005, 0.5) for _ in range(300)]
+
+    def test_quantile_tracks_exact_within_bucket_width(self):
+        values = sorted(self._values())
+        hist = HistogramSummary()
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            # Bucket edges are ~19% apart (4 per octave): the bucketed
+            # answer must land within one bucket of the exact rank.
+            assert hist.quantile(q) == pytest.approx(exact, rel=0.20)
+        # Extremes clamp into [min, max]; the top end is exact.
+        assert hist.min <= hist.quantile(0.0) <= hist.min * 1.20
+        assert hist.quantile(1.0) == hist.max
+
+    def test_single_value_stream_is_exact(self):
+        hist = HistogramSummary()
+        for _ in range(10):
+            hist.observe(0.125)
+        assert hist.quantile(0.5) == 0.125
+        assert hist.percentiles() == {
+            "p50": 0.125, "p90": 0.125, "p99": 0.125
+        }
+
+    def test_merge_is_order_independent(self):
+        # Property: merging ANY partition of a stream in ANY order
+        # yields the same buckets — hence the same percentiles — as
+        # observing the whole stream in one registry.
+        import itertools
+
+        values = self._values()
+        shards = [values[0::3], values[1::3], values[2::3]]
+        reference = HistogramSummary()
+        for value in values:
+            reference.observe(value)
+        payloads = []
+        for shard in shards:
+            hist = HistogramSummary()
+            for value in shard:
+                hist.observe(value)
+            payloads.append(hist.to_dict())
+        for order in itertools.permutations(payloads):
+            merged = HistogramSummary()
+            for payload in order:
+                merged.merge_dict(payload)
+            assert merged.count == reference.count
+            assert merged.buckets == reference.buckets
+            assert merged.percentiles() == reference.percentiles()
+            assert merged.min == reference.min
+            assert merged.max == reference.max
+
+    def test_to_dict_round_trips_through_json(self):
+        hist = HistogramSummary()
+        for value in self._values():
+            hist.observe(value)
+        payload = json.loads(json.dumps(hist.to_dict()))
+        clone = HistogramSummary()
+        clone.merge_dict(payload)
+        assert clone.buckets == hist.buckets
+        assert clone.percentiles() == hist.percentiles()
+
+    def test_legacy_payload_without_buckets_merges(self):
+        # Snapshots written before quantile buckets existed carry only
+        # count/sum/min/max; merging them must not crash, and the
+        # count/mean arithmetic stays right.
+        hist = HistogramSummary()
+        hist.observe(1.0)
+        hist.merge_dict({"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0})
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(1.75)
+        assert hist.quantile(0.5) >= hist.min
+
+    def test_registry_merge_preserves_percentiles(self):
+        # The same property through the registry-level snapshot/merge
+        # path the batch workers use.
+        values = self._values()
+        parent = MetricsRegistry()
+        for shard in (values[0::2], values[1::2]):
+            worker = MetricsRegistry()
+            for value in shard:
+                worker.observe("lat", value)
+            parent.merge(worker.snapshot())
+        reference = MetricsRegistry()
+        for value in values:
+            reference.observe("lat", value)
+        assert (
+            parent.histograms["lat"].percentiles()
+            == reference.histograms["lat"].percentiles()
+        )
+        snap = parent.snapshot()["histograms"]["lat"]
+        assert snap["p50"] == parent.histograms["lat"].quantile(0.5)
+        assert "buckets" in snap
