@@ -1,6 +1,6 @@
-"""Compile/optimize/simulate wall-time benchmark vs the recorded baseline.
+"""Compile/optimize/simulate/verify wall-time benchmark vs the baseline.
 
-Times the three phases of the full pipeline on the paper suite
+Times the four phases of the full pipeline on the paper suite
 (reduced random ensemble, L6 machine) and compares against the
 committed recording in ``benchmarks/baselines/BENCH_compile_baseline.json``
 (captured by ``record_compile_baseline.py``).  Writes
@@ -17,8 +17,9 @@ Hard guarantees asserted here:
   compiler emits fails here even if it is faster,
 * neither compile nor optimize regresses more than
   :data:`NO_WORSE_SLACK` vs the baseline (the CI smoke job's >25%
-  regression gate; the ~0.1s simulate phase is too noise-dominated for
-  a per-phase wall-clock gate and is covered by the total instead),
+  regression gate; the ~0.1s simulate and verify phases are too
+  noise-dominated for per-phase wall-clock gates and are covered by
+  the total instead),
 * total wall time is no worse than the baseline within the same slack,
 * on a host at least as fast as the recording one (established by the
   total-time comparison), the compile phase must hold the
@@ -27,6 +28,12 @@ Hard guarantees asserted here:
   (The incremental-verification optimize win of PR 4 is now pinned by
   the slack gate against the re-recorded optimize total, which was
   measured with that engine on.)
+* the vectorized replay kernel holds its :data:`MIN_REPLAY_SPEEDUP` ×
+  win over the scalar loop on the replay-dominated phases
+  (simulate + verify), measured as an in-process A/B on the same host
+  within the same run — no cross-host noise applies — with the final
+  chains and the heating/clock observer floats asserted bit-identical
+  between the two kernels first.
 
 Run with ``pytest benchmarks/bench_compile.py``.
 """
@@ -66,7 +73,11 @@ MIN_COMPILE_SPEEDUP = 2.5
 #: Widen via ``REPRO_OBS_SLACK`` on noisy shared runners.
 OBS_SLACK = float(os.environ.get("REPRO_OBS_SLACK", "1.05"))
 
-PHASES = ("compile", "optimize", "simulate")
+#: Required simulate+verify speedup of the vectorized replay kernel
+#: over the scalar loop (in-process A/B, same host, same run).
+MIN_REPLAY_SPEEDUP = 2.0
+
+PHASES = ("compile", "optimize", "simulate", "verify")
 
 
 def _timed(thunk) -> float:
@@ -82,6 +93,7 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
     from repro.compiler.config import CompilerConfig
     from repro.compiler.mapping import greedy_initial_mapping
     from repro.passes.manager import PassManager
+    from repro.passes.verify import verify_schedule
     from repro.sim.simulator import Simulator
 
     with open(BASELINE_PATH, encoding="utf-8") as handle:
@@ -137,6 +149,15 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
             for _ in range(REPEATS)
         )
 
+        verify_s = min(
+            _timed(
+                lambda: verify_schedule(
+                    machine, optimization.schedule, result.initial_chains
+                )
+            )
+            for _ in range(REPEATS)
+        )
+
         rows.append(
             {
                 "circuit": circuit.name,
@@ -144,6 +165,7 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
                 "compile_seconds": round(compile_s, 4),
                 "optimize_seconds": round(optimize_s, 4),
                 "simulate_seconds": round(simulate_s, 4),
+                "verify_seconds": round(verify_s, 4),
             }
         )
 
@@ -165,12 +187,13 @@ def test_compile_pipeline_speed_vs_baseline(results_dir, machine):
     previous = baseline.get("previous")
     previous_speedups = None
     if previous:
+        # Older recordings may predate the verify phase split.
         previous_speedups = {
             phase: round(
                 previous[f"total_{phase}_seconds"] / totals[phase], 3
             )
             for phase in PHASES
-            if totals[phase]
+            if totals[phase] and f"total_{phase}_seconds" in previous
         }
 
     summary = {
@@ -304,3 +327,110 @@ def test_obs_disabled_overhead_and_enabled_inertness(machine):
                     "the committed baseline recording"
                 )
     assert obs.active() is None
+
+
+def test_replay_phase_vector_speedup(results_dir, machine):
+    """The vectorized replay kernel's simulate+verify win, in-process.
+
+    Unlike the baseline gates above, this is a same-host, same-run A/B:
+    the suite's optimized schedules are replayed through the scalar
+    loop and the batched numpy kernel back to back, so host speed
+    cancels out and the :data:`MIN_REPLAY_SPEEDUP` bound is meaningful
+    anywhere.  Semantics are asserted before speed: both kernels must
+    produce identical final chains (verify) and bit-identical fidelity,
+    makespan and heating floats (simulate).
+    """
+    from repro.core.vector import HAVE_NUMPY
+    import pytest
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy unavailable: no vector kernel to benchmark")
+
+    from repro.bench.suite import paper_suite
+    from repro.compiler.compiler import QCCDCompiler
+    from repro.compiler.config import CompilerConfig
+    from repro.compiler.mapping import greedy_initial_mapping
+    from repro.passes.manager import PassManager
+    from repro.passes.verify import verify_schedule
+    from repro.sim.simulator import Simulator
+
+    compiler = QCCDCompiler(machine, CompilerConfig.optimized())
+    jobs = []
+    for circuit in paper_suite(full=False):
+        chains = greedy_initial_mapping(circuit, machine)
+        result = compiler.compile(circuit, initial_chains=chains)
+        optimization = PassManager().run(
+            result.schedule, machine, result.initial_chains
+        )
+        jobs.append(
+            (circuit.name, optimization.schedule, result.initial_chains)
+        )
+
+    sim_vector = Simulator(machine, use_vector_kernel=True)
+    sim_scalar = Simulator(machine, use_vector_kernel=False)
+
+    # Semantics first: chains and observer-derived floats bit-identical.
+    for name, schedule, chains in jobs:
+        report_v = sim_vector.run(schedule, chains)
+        report_s = sim_scalar.run(schedule, chains)
+        for field in (
+            "program_log_fidelity",
+            "duration",
+            "min_gate_fidelity",
+            "max_nbar",
+            "mean_gate_nbar",
+        ):
+            assert getattr(report_v, field) == getattr(report_s, field), (
+                f"{name}: vector kernel drifted on {field}: "
+                f"{getattr(report_v, field)!r} != {getattr(report_s, field)!r}"
+            )
+        final_v = verify_schedule(
+            machine, schedule, chains, use_vector_kernel=True
+        )
+        final_s = verify_schedule(
+            machine, schedule, chains, use_vector_kernel=False
+        )
+        assert final_v == final_s, (
+            f"{name}: vector kernel produced different final chains"
+        )
+
+    def replay_suite(simulator, use_vector: bool) -> float:
+        start = time.perf_counter()
+        for _, schedule, chains in jobs:
+            simulator.run(schedule, chains)
+            verify_schedule(
+                machine, schedule, chains, use_vector_kernel=use_vector
+            )
+        return time.perf_counter() - start
+
+    # Interleaved repeats; minima cancel one-sided host drift.
+    vector_times, scalar_times = [], []
+    for _ in range(REPEATS):
+        vector_times.append(replay_suite(sim_vector, True))
+        scalar_times.append(replay_suite(sim_scalar, False))
+    vector_s, scalar_s = min(vector_times), min(scalar_times)
+    speedup = scalar_s / vector_s if vector_s else float("inf")
+
+    write_result(
+        results_dir,
+        "BENCH_replay_kernel.json",
+        json.dumps(
+            {
+                "machine": machine.name,
+                "repeats": REPEATS,
+                "phases": ["simulate", "verify"],
+                "scalar_seconds": round(scalar_s, 4),
+                "vector_seconds": round(vector_s, 4),
+                "speedup": round(speedup, 3),
+                "min_required_speedup": MIN_REPLAY_SPEEDUP,
+            },
+            indent=2,
+        ),
+    )
+
+    assert speedup >= MIN_REPLAY_SPEEDUP, (
+        f"vector replay kernel win eroded: {speedup:.2f}x over the "
+        f"scalar loop on simulate+verify (required "
+        f"{MIN_REPLAY_SPEEDUP:.1f}x; scalar {scalar_s:.3f}s, "
+        f"vector {vector_s:.3f}s)"
+    )

@@ -12,7 +12,15 @@ perf PR should find its target::
     python benchmarks/profile_compile.py --top 40 --sort tottime
     python benchmarks/profile_compile.py --baseline      # [7]'s config
     python benchmarks/profile_compile.py --no-index      # reference scan path
+    python benchmarks/profile_compile.py --phase simulate  # profile one phase
+    python benchmarks/profile_compile.py --phase verify --no-vector
     python benchmarks/profile_compile.py --json profile.json
+
+``--phase`` selects which pipeline stage runs under the profiler
+(``compile`` is the default; ``optimize``/``simulate``/``verify`` run
+the earlier stages unprofiled to build their input), and
+``--no-vector`` pins the scalar replay loop so the vectorized kernel's
+win — and any future erosion of it — is directly inspectable.
 
 With ``repro`` installed (``pip install -e .``) no ``PYTHONPATH`` is
 needed; an uninstalled source checkout falls back to ``../src``
@@ -129,6 +137,19 @@ def main() -> None:
         help="profile the reference tail-scanning path (use_future_index=False)",
     )
     parser.add_argument(
+        "--phase",
+        default="compile",
+        choices=["compile", "optimize", "simulate", "verify"],
+        help="pipeline stage to run under the profiler (earlier stages "
+        "run unprofiled to build its input)",
+    )
+    parser.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="replay through the scalar loop (use_vector_kernel=False) "
+        "in the simulate/optimize/verify phases",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -160,13 +181,62 @@ def main() -> None:
         (circuit, greedy_initial_mapping(circuit, machine))
         for circuit in circuits
     ]
+    use_vector = not args.no_vector
 
     profile = cProfile.Profile()
-    profile.enable()
-    for circuit, chains in jobs:
-        for _ in range(args.repeat):
-            compiler.compile(circuit, initial_chains=chains)
-    profile.disable()
+    if args.phase == "compile":
+        profile.enable()
+        for circuit, chains in jobs:
+            for _ in range(args.repeat):
+                compiler.compile(circuit, initial_chains=chains)
+        profile.disable()
+    else:
+        # Build the profiled phase's input unprofiled.
+        from repro.passes.manager import PassManager
+        from repro.passes.verify import verify_schedule
+        from repro.sim.simulator import Simulator
+
+        compiled = [
+            (compiler.compile(circuit, initial_chains=chains), chains)
+            for circuit, chains in jobs
+        ]
+        if args.phase == "optimize":
+            manager = PassManager(use_vector_kernel=use_vector)
+            profile.enable()
+            for result, _chains in compiled:
+                for _ in range(args.repeat):
+                    manager.run(
+                        result.schedule, machine, result.initial_chains
+                    )
+            profile.disable()
+        else:
+            optimized = [
+                (
+                    PassManager()
+                    .run(result.schedule, machine, result.initial_chains)
+                    .schedule,
+                    result.initial_chains,
+                )
+                for result, _chains in compiled
+            ]
+            if args.phase == "simulate":
+                simulator = Simulator(machine, use_vector_kernel=use_vector)
+                profile.enable()
+                for schedule, chains in optimized:
+                    for _ in range(args.repeat):
+                        simulator.run(schedule, chains)
+                profile.disable()
+            else:  # verify
+                profile.enable()
+                for schedule, chains in optimized:
+                    for _ in range(args.repeat):
+                        verify_schedule(
+                            machine,
+                            schedule,
+                            chains,
+                            use_vector_kernel=use_vector,
+                        )
+                profile.disable()
 
     label = ", ".join(c.name for c in circuits[:5])
     if len(circuits) > 5:
@@ -176,6 +246,8 @@ def main() -> None:
         document = {
             "config": config.name,
             "machine": machine.name,
+            "phase": args.phase,
+            "use_vector_kernel": use_vector,
             "circuits": [c.name for c in circuits],
             "repeat": args.repeat,
             "sort": args.sort,
@@ -188,9 +260,10 @@ def main() -> None:
         with open(args.json, "w") as handle:
             json.dump(document, handle, indent=2)
         print(f"wrote {args.json}")
+    kernel = "" if use_vector else ", scalar replay"
     print(
-        f"# {config.name} on {machine.name} — {label} — "
-        f"top {args.top} by {args.sort}\n"
+        f"# {config.name} on {machine.name} — {args.phase} phase{kernel} — "
+        f"{label} — top {args.top} by {args.sort}\n"
     )
     stats.sort_stats(args.sort).print_stats(args.top)
 

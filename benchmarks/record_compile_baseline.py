@@ -1,6 +1,6 @@
-"""Record the compile/optimize/simulate wall-time baseline.
+"""Record the compile/optimize/simulate/verify wall-time baseline.
 
-Times the three phases on the paper suite (reduced random ensemble,
+Times the four phases on the paper suite (reduced random ensemble,
 L6 machine) and writes ``benchmarks/baselines/BENCH_compile_baseline.json``
 (committed — the regression reference ``bench_compile.py`` gates
 against).  When an earlier baseline exists, its phase totals are
@@ -45,6 +45,7 @@ def time_suite() -> dict:
     from repro.compiler.config import CompilerConfig
     from repro.compiler.mapping import greedy_initial_mapping
     from repro.passes.manager import PassManager
+    from repro.passes.verify import verify_schedule
     from repro.sim.simulator import Simulator
 
     machine = l6_machine()
@@ -82,6 +83,15 @@ def time_suite() -> dict:
             for _ in range(REPEATS)
         )
 
+        verify_s = min(
+            _timed(
+                lambda: verify_schedule(
+                    machine, optimization.schedule, result.initial_chains
+                )
+            )
+            for _ in range(REPEATS)
+        )
+
         rows.append(
             {
                 "circuit": circuit.name,
@@ -90,11 +100,13 @@ def time_suite() -> dict:
                 "compile_seconds": round(compile_s, 4),
                 "optimize_seconds": round(optimize_s, 4),
                 "simulate_seconds": round(simulate_s, 4),
+                "verify_seconds": round(verify_s, 4),
             }
         )
         print(
             f"{circuit.name}: compile {compile_s:.3f}s  "
-            f"optimize {optimize_s:.3f}s  simulate {simulate_s:.3f}s",
+            f"optimize {optimize_s:.3f}s  simulate {simulate_s:.3f}s  "
+            f"verify {verify_s:.3f}s",
             flush=True,
         )
 
@@ -109,6 +121,9 @@ def time_suite() -> dict:
         ),
         "total_simulate_seconds": round(
             sum(r["simulate_seconds"] for r in rows), 4
+        ),
+        "total_verify_seconds": round(
+            sum(r["verify_seconds"] for r in rows), 4
         ),
         "results": rows,
     }
@@ -127,12 +142,12 @@ def main() -> None:
     if os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, encoding="utf-8") as handle:
             superseded = json.load(handle)
-        summary["previous"] = {
-            "label": superseded.get("label", "superseded baseline"),
-            "total_compile_seconds": superseded["total_compile_seconds"],
-            "total_optimize_seconds": superseded["total_optimize_seconds"],
-            "total_simulate_seconds": superseded["total_simulate_seconds"],
-        }
+        # Carry every phase total the superseded recording has (older
+        # recordings may predate the verify phase).
+        summary["previous"] = {"label": superseded.get("label", "superseded baseline")}
+        for key, value in superseded.items():
+            if key.startswith("total_") and key.endswith("_seconds"):
+                summary["previous"][key] = value
     os.makedirs(BASELINE_DIR, exist_ok=True)
     with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)

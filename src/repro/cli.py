@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 
 from . import __version__, obs
@@ -532,6 +533,7 @@ def _cmd_load(args) -> int:
     report = runner.run()
     print(render_load_report(report))
     if args.report_out:
+        os.makedirs(os.path.dirname(args.report_out) or ".", exist_ok=True)
         with open(args.report_out, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
             handle.write("\n")
@@ -765,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the LoadReport JSON to PATH",
     )
+    _add_metrics_out(p)
     p.set_defaults(handler=_cmd_load)
 
     p = sub.add_parser(
@@ -854,6 +857,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.handler(args)
     with obs.observe() as observation:
         code = args.handler(args)
+    os.makedirs(os.path.dirname(metrics_out) or ".", exist_ok=True)
     with open(metrics_out, "w", encoding="utf-8") as handle:
         json.dump(obs.export_json(observation), handle, indent=2)
         handle.write("\n")

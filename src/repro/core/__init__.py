@@ -47,9 +47,25 @@ from .replay import (
     replay_into,
 )
 from .state import NOWHERE, Checkpoint, MachineState
+from .vector import (
+    HAVE_NUMPY,
+    CompiledStream,
+    batched_replay,
+    check_stream,
+    compile_stream,
+    drain_stream,
+    vector_kernel_enabled,
+)
 
 __all__ = [
     "FIDELITY_FLOOR",
+    "HAVE_NUMPY",
+    "CompiledStream",
+    "batched_replay",
+    "check_stream",
+    "compile_stream",
+    "drain_stream",
+    "vector_kernel_enabled",
     "Checkpoint",
     "CheckpointedReplay",
     "ClockObserver",

@@ -214,6 +214,7 @@ class CheckpointedReplay:
         initial_chains: dict[int, list[int]],
         observers: tuple = (),
         interval: int | None = None,
+        use_vector_kernel: bool | None = None,
     ) -> None:
         self.machine = machine
         self.initial_chains = {
@@ -226,6 +227,22 @@ class CheckpointedReplay:
             interval = max(16, isqrt(n))
         self.interval = max(1, interval)
 
+        # The construction replay — the engine's only O(N) scan — runs
+        # on the vectorized kernel when enabled: one whole-stream array
+        # check, then an unchecked drain chunked at checkpoint
+        # boundaries.  Splice scans stay scalar: they are O(window + √N)
+        # by design.  A flagged check (illegal base, unsupported op
+        # shapes) drops to the scalar loop, which raises the exact
+        # "op N:" error.
+        from .vector import (
+            check_stream,
+            compile_stream,
+            drain_stream,
+            split_observers,
+            supports_observers,
+            vector_kernel_enabled,
+        )
+
         state = MachineState(machine, initial_chains)
         self._scratch = state.fork()
         self._probe = state.fork()
@@ -233,19 +250,46 @@ class CheckpointedReplay:
         self._cp_data: list[tuple] = [
             (state.checkpoint(), self._observer_snapshots())
         ]
-        position = -1
-        try:
-            for position, op in enumerate(self._ops):
-                state.apply(op)
-                for observer in self.observers:
-                    observer.observe(position, op, state)
-                if (position + 1) % self.interval == 0 and position + 1 < n:
-                    self._cp_indices.append(position + 1)
+        use_vector = False
+        if vector_kernel_enabled(use_vector_kernel) and supports_observers(
+            self.observers
+        ):
+            # Compile via the source object when it carries the
+            # compiled-stream cache slot (Schedule does): the pass
+            # pipeline re-verifies the same schedule repeatedly, and
+            # every engine then shares one columnar compilation.
+            source = ops if hasattr(ops, "_compiled_stream") else self._ops
+            stream = compile_stream(source)
+            use_vector = check_stream(state, stream, 0, n)
+        if use_vector:
+            clock, heat = split_observers(self.observers)
+            position = 0
+            while position < n:
+                stop = min(position + self.interval, n)
+                drain_stream(state, stream, position, stop, clock, heat)
+                position = stop
+                if position < n:
+                    self._cp_indices.append(position)
                     self._cp_data.append(
                         (state.checkpoint(), self._observer_snapshots())
                     )
-        except MachineModelError as exc:
-            raise MachineModelError(f"op {position}: {exc}") from None
+        else:
+            position = -1
+            try:
+                for position, op in enumerate(self._ops):
+                    state.apply(op)
+                    for observer in self.observers:
+                        observer.observe(position, op, state)
+                    if (
+                        (position + 1) % self.interval == 0
+                        and position + 1 < n
+                    ):
+                        self._cp_indices.append(position + 1)
+                        self._cp_data.append(
+                            (state.checkpoint(), self._observer_snapshots())
+                        )
+            except MachineModelError as exc:
+                raise MachineModelError(f"op {position}: {exc}") from None
         state.require_settled()
         self._final_chains = state.chains_dict()
 

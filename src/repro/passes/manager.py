@@ -171,10 +171,14 @@ class PassManager:
         passes: object = None,
         fidelity_guard: bool = True,
         params: MachineParams = DEFAULT_PARAMS,
+        use_vector_kernel: bool | None = None,
     ) -> None:
         self.passes: list[SchedulePass] = make_passes(passes)
         self.fidelity_guard = fidelity_guard
         self.params = params
+        #: Build the incremental engine's construction replay on the
+        #: batched numpy kernel (None = on when numpy is available).
+        self.use_vector_kernel = use_vector_kernel
 
     def run(
         self,
@@ -215,7 +219,11 @@ class PassManager:
             observers = (heat,)
         try:
             engine = CheckpointedReplay(
-                machine, schedule.ops, initial_chains, observers
+                machine,
+                schedule,  # cache-bearing: shares one compiled stream
+                initial_chains,
+                observers,
+                use_vector_kernel=self.use_vector_kernel,
             )
         except MachineModelError as exc:
             raise VerificationError(str(exc)) from None
@@ -345,8 +353,9 @@ def optimize_schedule(
     passes: object = None,
     fidelity_guard: bool = True,
     params: MachineParams = DEFAULT_PARAMS,
+    use_vector_kernel: bool | None = None,
 ) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`PassManager`."""
-    return PassManager(passes, fidelity_guard, params).run(
-        schedule, machine, initial_chains
-    )
+    return PassManager(
+        passes, fidelity_guard, params, use_vector_kernel
+    ).run(schedule, machine, initial_chains)

@@ -25,6 +25,7 @@ from collections import Counter
 from ..arch.machine import QCCDMachine
 from ..core.errors import MachineModelError
 from ..core.replay import is_applicable, replay
+from ..core.vector import batched_replay, vector_kernel_enabled
 from ..sim.ops import GateOp
 from ..sim.schedule import Schedule
 
@@ -37,6 +38,7 @@ def verify_schedule(
     machine: QCCDMachine,
     schedule: Schedule,
     initial_chains: dict[int, list[int]],
+    use_vector_kernel: bool | None = None,
 ) -> dict[int, list[int]]:
     """Replay ``schedule`` against the machine model; raise on the first
     illegal op.  Returns the final per-trap chains of the replay.
@@ -53,7 +55,10 @@ def verify_schedule(
     * no ion is left in transit at the end.
     """
     try:
-        state = replay(machine, schedule, initial_chains)
+        if vector_kernel_enabled(use_vector_kernel):
+            state = batched_replay(machine, schedule, initial_chains)
+        else:
+            state = replay(machine, schedule, initial_chains)
     except MachineModelError as exc:
         raise VerificationError(str(exc)) from None
     return state.chains_dict()
@@ -63,8 +68,15 @@ def is_legal(
     machine: QCCDMachine,
     schedule: Schedule,
     initial_chains: dict[int, list[int]],
+    use_vector_kernel: bool | None = None,
 ) -> bool:
     """Boolean form of :func:`verify_schedule` (the pass accept oracle)."""
+    if vector_kernel_enabled(use_vector_kernel):
+        try:
+            batched_replay(machine, schedule, initial_chains)
+        except MachineModelError:
+            return False
+        return True
     return is_applicable(machine, schedule, initial_chains)
 
 

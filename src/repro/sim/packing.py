@@ -1,0 +1,235 @@
+"""Columnar (de)serialization of machine-op streams.
+
+Every sweep job ships a :class:`~repro.sim.schedule.Schedule` across
+the worker-pool boundary and into the on-disk result cache; the
+default pickle pays one object reduce per op — tens of thousands of
+tiny dataclass records per schedule.  :func:`pack_ops` flattens the
+stream into a handful of typed ndarrays plus small vocabularies (gate
+names, shuttle reasons), and :func:`unpack_ops` reconstructs the exact
+dataclass instances, so ``packed == unpacked`` op-for-op: equality,
+hashing and content fingerprints (:mod:`repro.batch.fingerprint`) are
+preserved.
+
+Ops that are not exact-class kernel ops — subclasses, foreign ops, or
+fields outside the int64 range — travel verbatim in an ``other`` side
+list keyed by stream position.  Without numpy, :func:`pack_ops`
+returns ``None`` and callers fall back to the default pickle.
+"""
+
+from __future__ import annotations
+
+from ..core.ops import GateOp, MergeOp, MoveOp, ShuttleReason, SplitOp, SwapOp
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: Op-kind codes in the packed form (order is part of the format).
+_K_GATE, _K_MOVE, _K_SPLIT, _K_MERGE, _K_SWAP, _K_OTHER = range(6)
+
+#: Format marker so a future layout change can stay loadable.
+_VERSION = 1
+
+
+def _fits(value) -> bool:
+    return isinstance(value, int) and _INT64_MIN <= value <= _INT64_MAX
+
+
+def pack_ops(ops) -> dict | None:
+    """Pack an op sequence into a picklable columnar document, or
+    ``None`` when numpy is unavailable."""
+    if not HAVE_NUMPY:
+        return None
+    kinds = []
+    gate_name_codes: list[int] = []
+    gate_names: list[str] = []
+    name_code: dict[str, int] = {}
+    gate_traps: list[int] = []
+    gate_qubits: list[int] = []
+    gate_qcounts: list[int] = []
+    gate_params: list[float] = []
+    gate_pcounts: list[int] = []
+    shuttle_ints: list[int] = []  # ion/src/dst | ion/trap | ion_a/ion_b/trap
+    reason_codes: list[int] = []
+    reasons: list[ShuttleReason] = []
+    reason_code: dict[ShuttleReason, int] = {}
+    merge_positions: list[int] = []
+    merge_has_position: list[bool] = []
+    other: list[tuple[int, object]] = []
+
+    for index, op in enumerate(ops):
+        cls = type(op)
+        if cls is GateOp:
+            gate = op.gate
+            trap = op.trap
+            if _fits(trap) and all(_fits(q) for q in gate.qubits):
+                kinds.append(_K_GATE)
+                code = name_code.get(gate.name)
+                if code is None:
+                    code = name_code[gate.name] = len(gate_names)
+                    gate_names.append(gate.name)
+                gate_name_codes.append(code)
+                gate_traps.append(trap)
+                gate_qcounts.append(len(gate.qubits))
+                gate_qubits.extend(gate.qubits)
+                gate_pcounts.append(len(gate.params))
+                gate_params.extend(gate.params)
+                continue
+        elif cls is MoveOp:
+            if _fits(op.ion) and _fits(op.src) and _fits(op.dst):
+                kinds.append(_K_MOVE)
+                shuttle_ints.extend((op.ion, op.src, op.dst))
+                code = reason_code.get(op.reason)
+                if code is None:
+                    code = reason_code[op.reason] = len(reasons)
+                    reasons.append(op.reason)
+                reason_codes.append(code)
+                continue
+        elif cls is SplitOp:
+            if _fits(op.ion) and _fits(op.trap):
+                kinds.append(_K_SPLIT)
+                shuttle_ints.extend((op.ion, op.trap))
+                code = reason_code.get(op.reason)
+                if code is None:
+                    code = reason_code[op.reason] = len(reasons)
+                    reasons.append(op.reason)
+                reason_codes.append(code)
+                continue
+        elif cls is MergeOp:
+            position = op.position
+            if _fits(op.ion) and _fits(op.trap) and (
+                position is None or _fits(position)
+            ):
+                kinds.append(_K_MERGE)
+                shuttle_ints.extend((op.ion, op.trap))
+                code = reason_code.get(op.reason)
+                if code is None:
+                    code = reason_code[op.reason] = len(reasons)
+                    reasons.append(op.reason)
+                reason_codes.append(code)
+                merge_has_position.append(position is not None)
+                merge_positions.append(0 if position is None else position)
+                continue
+        elif cls is SwapOp:
+            if _fits(op.ion_a) and _fits(op.ion_b) and _fits(op.trap):
+                kinds.append(_K_SWAP)
+                shuttle_ints.extend((op.ion_a, op.ion_b, op.trap))
+                code = reason_code.get(op.reason)
+                if code is None:
+                    code = reason_code[op.reason] = len(reasons)
+                    reasons.append(op.reason)
+                reason_codes.append(code)
+                continue
+        kinds.append(_K_OTHER)
+        other.append((index, op))
+
+    return {
+        "version": _VERSION,
+        "kinds": np.array(kinds, dtype=np.uint8),
+        "gate_names": gate_names,
+        "gate_name_codes": np.array(gate_name_codes, dtype=np.int32),
+        "gate_traps": np.array(gate_traps, dtype=np.int64),
+        "gate_qcounts": np.array(gate_qcounts, dtype=np.int16),
+        "gate_qubits": np.array(gate_qubits, dtype=np.int64),
+        "gate_pcounts": np.array(gate_pcounts, dtype=np.int16),
+        "gate_params": np.array(gate_params, dtype=np.float64),
+        "shuttle_ints": np.array(shuttle_ints, dtype=np.int64),
+        "reasons": reasons,
+        "reason_codes": np.array(reason_codes, dtype=np.uint8),
+        "merge_positions": np.array(merge_positions, dtype=np.int64),
+        "merge_has_position": np.array(merge_has_position, dtype=bool),
+        "other": other,
+    }
+
+
+def unpack_ops(packed: dict) -> list:
+    """Rebuild the exact op list from a :func:`pack_ops` document."""
+    from ..circuits.gate import Gate
+
+    kinds = packed["kinds"].tolist()
+    gate_names = packed["gate_names"]
+    gate_name_codes = packed["gate_name_codes"].tolist()
+    gate_traps = packed["gate_traps"].tolist()
+    gate_qcounts = packed["gate_qcounts"].tolist()
+    gate_qubits = packed["gate_qubits"].tolist()
+    gate_pcounts = packed["gate_pcounts"].tolist()
+    gate_params = packed["gate_params"].tolist()
+    shuttle_ints = packed["shuttle_ints"].tolist()
+    reasons = packed["reasons"]
+    reason_codes = packed["reason_codes"].tolist()
+    merge_positions = packed["merge_positions"].tolist()
+    merge_has_position = packed["merge_has_position"].tolist()
+    other = dict(packed["other"])
+
+    ops: list = []
+    g = q = p = s = r = m = 0  # per-column cursors
+    for index, kind in enumerate(kinds):
+        if kind == _K_GATE:
+            nq = gate_qcounts[g]
+            npar = gate_pcounts[g]
+            gate = Gate(
+                gate_names[gate_name_codes[g]],
+                tuple(gate_qubits[q : q + nq]),
+                tuple(gate_params[p : p + npar]),
+            )
+            ops.append(GateOp(gate, gate_traps[g]))
+            g += 1
+            q += nq
+            p += npar
+        elif kind == _K_MOVE:
+            ops.append(
+                MoveOp(
+                    shuttle_ints[s],
+                    shuttle_ints[s + 1],
+                    shuttle_ints[s + 2],
+                    reasons[reason_codes[r]],
+                )
+            )
+            s += 3
+            r += 1
+        elif kind == _K_SPLIT:
+            ops.append(
+                SplitOp(
+                    shuttle_ints[s],
+                    shuttle_ints[s + 1],
+                    reasons[reason_codes[r]],
+                )
+            )
+            s += 2
+            r += 1
+        elif kind == _K_MERGE:
+            position = (
+                merge_positions[m] if merge_has_position[m] else None
+            )
+            ops.append(
+                MergeOp(
+                    shuttle_ints[s],
+                    shuttle_ints[s + 1],
+                    reasons[reason_codes[r]],
+                    position,
+                )
+            )
+            s += 2
+            r += 1
+            m += 1
+        elif kind == _K_SWAP:
+            ops.append(
+                SwapOp(
+                    shuttle_ints[s],
+                    shuttle_ints[s + 1],
+                    shuttle_ints[s + 2],
+                    reasons[reason_codes[r]],
+                )
+            )
+            s += 3
+            r += 1
+        else:
+            ops.append(other[index])
+    return ops

@@ -38,11 +38,17 @@ class Schedule:
         self._kind_counts: dict[str, int] | None = None
         #: Cached content hash (None until first hash, reset on mutation).
         self._hash: int | None = None
+        #: Cached columnar form for the vectorized replay kernel
+        #: (populated by repro.core.vector.compile_stream on first
+        #: batched replay; reset on mutation so simulate/verify/pass
+        #: replays of the same schedule share one compilation).
+        self._compiled_stream = None
 
     def append(self, op: MachineOp) -> None:
         """Append one machine op."""
         self._ops.append(op)
         self._hash = None
+        self._compiled_stream = None
         counts = self._kind_counts
         if counts is not None:
             kind = _KIND_OF.get(type(op)) or op.kind
@@ -51,6 +57,7 @@ class Schedule:
     def extend(self, ops: Iterable[MachineOp]) -> None:
         """Append several machine ops."""
         self._hash = None
+        self._compiled_stream = None
         if self._kind_counts is None:
             self._ops.extend(ops)
             return
@@ -76,6 +83,7 @@ class Schedule:
         out = Schedule.__new__(Schedule)
         out._ops = self._ops[:start] + replacement + self._ops[end:]
         out._hash = None
+        out._compiled_stream = None
         counts = self._kind_counts
         if counts is None:
             out._kind_counts = None
@@ -142,6 +150,36 @@ class Schedule:
         if self._hash is None:
             self._hash = hash(tuple(self._ops))
         return self._hash
+
+    # ------------------------------------------------------------------
+    # Pickling (the batch pool / result cache round-trip)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the op stream in packed columnar form when numpy is
+        available (see :mod:`repro.sim.packing`): schedules cross the
+        worker-pool boundary and land in the result cache on every
+        sweep job, and packing replaces tens of thousands of per-op
+        dataclass reduces with a handful of ndarrays.  Caches (hash,
+        kind tally survives; compiled stream does not) are rebuilt on
+        demand after unpickling."""
+        from .packing import pack_ops
+
+        packed = pack_ops(self._ops)
+        if packed is None:
+            return {"_ops": self._ops, "_kind_counts": self._kind_counts}
+        return {"_packed": packed, "_kind_counts": self._kind_counts}
+
+    def __setstate__(self, state: dict) -> None:
+        packed = state.get("_packed")
+        if packed is not None:
+            from .packing import unpack_ops
+
+            self._ops = unpack_ops(packed)
+        else:
+            self._ops = state["_ops"]
+        self._kind_counts = state.get("_kind_counts")
+        self._hash = None
+        self._compiled_stream = None
 
     # ------------------------------------------------------------------
     # Statistics (the quantities the paper reports)

@@ -39,6 +39,7 @@ from ..core.errors import MachineModelError
 from ..core.observers import FIDELITY_FLOOR, ClockObserver, HeatingObserver
 from ..core.replay import replay_into
 from ..core.state import MachineState
+from ..core.vector import batched_replay, vector_kernel_enabled
 from .params import DEFAULT_PARAMS, MachineParams
 from .schedule import Schedule
 
@@ -86,10 +87,17 @@ class Simulator:
     """Validating executor for compiled schedules."""
 
     def __init__(
-        self, machine: QCCDMachine, params: MachineParams = DEFAULT_PARAMS
+        self,
+        machine: QCCDMachine,
+        params: MachineParams = DEFAULT_PARAMS,
+        use_vector_kernel: bool | None = None,
     ) -> None:
         self.machine = machine
         self.params = params
+        #: Replay through the batched numpy kernel (default: on when
+        #: numpy is importable; see repro.core.vector).  Results are
+        #: bit-identical either way — the golden suite pins this.
+        self.use_vector_kernel = vector_kernel_enabled(use_vector_kernel)
 
     def run(
         self,
@@ -104,9 +112,14 @@ class Simulator:
         clock = ClockObserver(self.machine.num_traps, self.params.timing)
         heat = HeatingObserver(self.machine.num_traps, self.params)
         try:
-            state = MachineState(self.machine, initial_chains)
-            replay_into(state, schedule, (clock, heat))
-            state.require_settled()
+            if self.use_vector_kernel:
+                batched_replay(
+                    self.machine, schedule, initial_chains, (clock, heat)
+                )
+            else:
+                state = MachineState(self.machine, initial_chains)
+                replay_into(state, schedule, (clock, heat))
+                state.require_settled()
         except MachineModelError as exc:
             raise SimulationError(str(exc)) from None
 

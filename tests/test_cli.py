@@ -323,6 +323,19 @@ class TestLoadCommand:
         assert document["memory"]["samples"]
         assert document["metrics"]["counters"]["load.jobs"] == 6
 
+    def test_load_report_out_creates_parent_dirs(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "not" / "yet" / "there" / "report.json"
+        metrics = tmp_path / "deep" / "er" / "metrics.json"
+        code = main(
+            ["load", "smoke", "--count", "2", "--seed", "3",
+             "--report-out", str(path), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        assert json.loads(path.read_text())["counts"]["jobs"] == 2
+        assert "metrics" in json.loads(metrics.read_text())
+
     def test_load_unknown_scenario(self):
         with pytest.raises(SystemExit):
             main(["load", "no-such-scenario"])
