@@ -7,9 +7,11 @@ directory stays listable.  Values are pickled
 a hit is a full replay, not just summary numbers).
 
 Writes are atomic (temp file + ``os.replace``) so a killed sweep never
-leaves a truncated entry; unreadable/corrupt entries degrade to misses.
-:class:`NullCache` is the ``--no-cache`` escape hatch: same interface,
-never stores anything.
+leaves a truncated entry; unreadable/corrupt entries degrade to misses
+*and are quarantined* (sidecar-renamed to ``*.pkl.corrupt``, or
+unlinked when even that fails) so one bad file costs one miss, not a
+failed read on every future lookup.  :class:`NullCache` is the
+``--no-cache`` escape hatch: same interface, never stores anything.
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    #: Entries quarantined because their file would not load.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -43,10 +47,13 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate * 100.0:.0f}% hit rate, {self.puts} stored)"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt quarantined"
+        return text
 
 
 class NullCache:
@@ -85,19 +92,43 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
-        except Exception:
-            # Unreadable, truncated, or stale (e.g. pickled against a
-            # renamed class/module) entries are misses, never crashes.
+        except FileNotFoundError:
             self.stats.misses += 1
             obs = _obs_active()
             if obs is not None:
                 obs.metrics.inc("cache.misses")
+            return None
+        except Exception:
+            # Unreadable, truncated, or stale (e.g. pickled against a
+            # renamed class/module) entries are misses, never crashes —
+            # and the offending file is quarantined so it fails exactly
+            # once instead of on every future lookup.
+            self._quarantine(path)
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            obs = _obs_active()
+            if obs is not None:
+                obs.metrics.inc("cache.misses")
+                obs.metrics.inc("cache.corrupt")
             return None
         self.stats.hits += 1
         obs = _obs_active()
         if obs is not None:
             obs.metrics.inc("cache.hits")
         return value
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move an unreadable entry aside (``*.pkl.corrupt`` sidecar —
+        outside the ``*.pkl`` globs, so it neither counts as an entry
+        nor gets retried), falling back to unlink."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` atomically under ``key``."""

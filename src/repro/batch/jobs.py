@@ -45,6 +45,11 @@ class CompileJob:
         Optional explicit initial mapping; ``None`` means the greedy
         initial mapping is computed inside the worker (deterministic,
         so equal jobs still produce equal results).
+    deadline:
+        Optional per-job wall-clock budget in seconds, enforced by the
+        resilient runner (worker-side ``SIGALRM`` guard plus a
+        parent-side kill backstop); overrides the runner-level
+        ``timeout``.  ``None`` defers to the runner.
     """
 
     circuit: Circuit
@@ -53,6 +58,10 @@ class CompileJob:
     params: MachineParams = field(default=DEFAULT_PARAMS)
     simulate: bool = False
     initial_chains: dict[int, list[int]] | None = None
+    #: Execution budget, not a compilation input: deliberately excluded
+    #: from :meth:`fingerprint`, so the same job with a different
+    #: deadline still hits the same cache entry.
+    deadline: float | None = None
 
     @property
     def label(self) -> str:

@@ -51,6 +51,10 @@ class SweepRecord:
     log10_fidelity: float | None = None
     duration: float | None = None
     max_nbar: float | None = None
+    # Resilience columns (trailing, so pre-existing CSV consumers keep
+    # their column offsets): terminal outcome and attempts consumed.
+    outcome: str = "ok"
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -75,6 +79,8 @@ def build_record(job: CompileJob, job_result: JobResult) -> SweepRecord:
         simulate=job.simulate,
         cache_hit=job_result.cache_hit,
         error=job_result.error,
+        outcome=job_result.outcome,
+        attempts=job_result.attempts,
     )
     result = job_result.result
     if result is not None:

@@ -26,7 +26,6 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import pickle
-import queue
 import sys
 import traceback
 from collections.abc import Callable, Sequence
@@ -38,6 +37,16 @@ from ..compiler.mapping import greedy_initial_mapping
 from ..compiler.result import CompilationResult
 from ..obs import active as _obs_active
 from ..obs import collect as _obs_collect
+# Only the dependency-free half of repro.resilience (faults/policy) may
+# be imported here — the pool/supervisor layers import this module back.
+from ..resilience.faults import (
+    FAULT_ERROR,
+    FAULT_STALL,
+    FaultPlan,
+    InjectedFaultError,
+    JobTimeoutError,
+)
+from ..resilience.policy import RetryPolicy
 from ..sim.simulator import SimulationReport, Simulator
 from .cache import CacheStats, NullCache, ResultCache
 from .jobs import CompileJob
@@ -72,6 +81,17 @@ class JobResult:
     #: errored work.  Stripped before caching (a hit's service time is
     #: the lookup, not the recorded compile).
     seconds: float | None = None
+    #: Terminal classification: ``ok`` / ``failed`` / ``timeout`` /
+    #: ``crashed`` / ``poisoned``.  Plain failures and successes are
+    #: set by the worker; ``crashed`` / ``poisoned`` (and parent-kill
+    #: timeouts) only arise under the resilient supervisor.
+    outcome: str = "ok"
+    #: Attempts consumed to reach this terminal result (1 = no retry).
+    attempts: int = 1
+    #: Wall seconds of every attempt, dispatch to settlement, in order;
+    #: ``None`` outside the resilient path.  The last entry matches
+    #: :attr:`seconds` when the final attempt returned a result.
+    attempt_seconds: tuple[float, ...] | None = None
 
     @property
     def ok(self) -> bool:
@@ -140,6 +160,8 @@ def execute_job(job: CompileJob) -> tuple[CompilationResult, SimulationReport | 
 
 def _execute_indexed(
     payload: tuple[int, CompileJob, str, bool],
+    fault: str | None = None,
+    chaos: FaultPlan | None = None,
 ) -> JobResult:
     """Pool worker: run one job, capturing any failure as a record.
 
@@ -147,13 +169,18 @@ def _execute_indexed(
     routes metrics into a fresh registry whose snapshot travels back
     with the result — the same protocol in-process and across the
     pool, so serial and parallel sweeps aggregate identically.
+
+    ``fault`` is an optional injected worker fault (``error`` or
+    ``stall``; ``crash`` never reaches this layer) applied *inside*
+    the guarded window, so injected failures take the exact code path
+    of genuine ones.
     """
     index, job, key, observed = payload
     if not observed:
-        return _execute_one(index, job, key)
+        return _execute_one(index, job, key, fault, chaos)
     with _obs_collect() as registry:
         t_job = perf_counter()
-        job_result = _execute_one(index, job, key)
+        job_result = _execute_one(index, job, key, fault, chaos)
         registry.observe("batch.job_seconds", perf_counter() - t_job)
         # Outcome counters travel in the snapshot even when the job
         # failed — partial metrics from errored work reach the parent
@@ -162,12 +189,35 @@ def _execute_indexed(
         return replace(job_result, metrics=registry.snapshot())
 
 
-def _execute_one(index: int, job: CompileJob, key: str) -> JobResult:
+def _execute_one(
+    index: int,
+    job: CompileJob,
+    key: str,
+    fault: str | None = None,
+    chaos: FaultPlan | None = None,
+) -> JobResult:
     t_start = perf_counter()
     try:
+        if fault == FAULT_STALL:
+            sleep(chaos.stall_seconds)
+        elif fault == FAULT_ERROR:
+            raise InjectedFaultError(
+                f"injected worker fault (plan seed {chaos.seed}, "
+                f"job {key[:12]})"
+            )
         result, report = execute_job(job)
         return JobResult(
             index, key, result, report, seconds=perf_counter() - t_start
+        )
+    except JobTimeoutError as exc:
+        return JobResult(
+            index,
+            key,
+            None,
+            error=traceback.format_exc(),
+            exception=exc,
+            seconds=perf_counter() - t_start,
+            outcome="timeout",
         )
     except Exception as exc:
         try:
@@ -181,6 +231,7 @@ def _execute_one(index: int, job: CompileJob, key: str) -> JobResult:
             error=traceback.format_exc(),
             exception=exc,
             seconds=perf_counter() - t_start,
+            outcome="failed",
         )
 
 
@@ -194,9 +245,28 @@ class BatchRunner:
         ``<= 0`` means one per CPU.
     cache:
         A :class:`ResultCache`, a cache-directory path, or ``None``
-        for no caching (equivalent to :class:`NullCache`).
+        for no caching (equivalent to :class:`NullCache`).  Any object
+        duck-typing ``get``/``put``/``stats`` also works (e.g.
+        :class:`~repro.resilience.cache.ChaosCache`).
     progress:
         Optional callback fired in the parent as each job resolves.
+    timeout:
+        Default per-job wall-clock budget, seconds (a job's own
+        :attr:`CompileJob.deadline` overrides it).  Setting it engages
+        the resilient execution path.
+    retry:
+        :class:`~repro.resilience.policy.RetryPolicy` for failed /
+        timed-out / crashed attempts.  Setting it engages the
+        resilient execution path.
+    chaos:
+        :class:`~repro.resilience.faults.FaultPlan` to inject faults
+        (testing only).  Setting it engages the resilient path.
+
+    With none of the resilience options set, ``run`` takes the legacy
+    in-process / ``multiprocessing.Pool`` path untouched — the fault
+    machinery is inert by construction, not merely disabled (the
+    ``bench_load`` A/B gate holds the supervised-but-uninjected path
+    to ≤5% overhead on top of that).
     """
 
     def __init__(
@@ -204,6 +274,9 @@ class BatchRunner:
         n_jobs: int = 1,
         cache: ResultCache | NullCache | str | None = None,
         progress: ProgressCallback | None = None,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        chaos: FaultPlan | None = None,
     ) -> None:
         if n_jobs <= 0:
             n_jobs = multiprocessing.cpu_count()
@@ -214,9 +287,21 @@ class BatchRunner:
             cache = ResultCache(cache)
         self.cache = cache
         self.progress = progress
+        self.timeout = timeout
+        self.retry = retry
+        self.chaos = chaos
         #: Jobs skipped because an identical job ran earlier in the
         #: same pass (in-run deduplication, not a disk hit).
         self.deduplicated = 0
+
+    def _resilient(self, jobs: Sequence[CompileJob]) -> bool:
+        """Whether this run needs the supervised execution path."""
+        return (
+            self.timeout is not None
+            or self.retry is not None
+            or self.chaos is not None
+            or any(job.deadline is not None for job in jobs)
+        )
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -271,7 +356,13 @@ class BatchRunner:
         )
 
         if to_run:
-            if self.n_jobs == 1 or len(to_run) == 1:
+            if self._resilient(jobs):
+                # Supervised path: per-job deadlines, retry, crash
+                # detection and quarantine.  Always subprocess-backed
+                # (even at n_jobs=1) so a crash or stall is isolated
+                # from the parent.
+                self._run_supervised(to_run, pending, resolve)
+            elif self.n_jobs == 1 or len(to_run) == 1:
                 fresh = map(_execute_indexed, to_run)
                 for job_result in fresh:
                     self._finish(job_result, pending, resolve)
@@ -295,6 +386,31 @@ class BatchRunner:
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
+    def _run_supervised(
+        self,
+        to_run: list[tuple[int, CompileJob, str, bool]],
+        pending: dict[str, list[int]],
+        resolve: Callable[[int, JobResult], None],
+    ) -> None:
+        """Drain ``to_run`` through a :class:`Supervisor` (lazy import:
+        the resilience package imports this module back)."""
+        from ..resilience.supervisor import Supervisor
+
+        workers = max(1, min(self.n_jobs, len(to_run)))
+        with Supervisor(
+            workers,
+            retry=self.retry,
+            timeout=self.timeout,
+            chaos=self.chaos,
+        ) as supervisor:
+            for index, job, key, observed in to_run:
+                supervisor.submit(index, job, key, observed)
+            remaining = len(to_run)
+            while remaining:
+                for job_result in supervisor.poll(0.25):
+                    self._finish(job_result, pending, resolve)
+                    remaining -= 1
+
     def _finish(
         self,
         job_result: JobResult,
@@ -312,7 +428,16 @@ class BatchRunner:
         if job_result.ok:
             self.cache.put(
                 job_result.fingerprint,
-                replace(job_result, job_index=-1, seconds=None),
+                # Attempt history is execution circumstance, not result
+                # content: stripped (like seconds) so a cached replay
+                # of a retried job compares equal to a fault-free one.
+                replace(
+                    job_result,
+                    job_index=-1,
+                    seconds=None,
+                    attempts=1,
+                    attempt_seconds=None,
+                ),
             )
         for index in pending.pop(job_result.fingerprint):
             resolve(index, replace(job_result, job_index=index))
@@ -343,6 +468,12 @@ class BatchRunner:
         * **Results are returned in completion order** with their
           timeline attached (the caller sorts by ``job_index`` when it
           needs job order).
+
+        Concurrent execution runs on the supervised pool
+        (:class:`~repro.resilience.supervisor.Supervisor`) whether or
+        not resilience options are set: every wait is a bounded poll
+        with worker liveness checks, so a vanished worker surfaces as
+        a ``crashed`` result instead of hanging the harness forever.
         """
         total = len(jobs)
         if arrivals is None:
@@ -353,7 +484,6 @@ class BatchRunner:
             )
         obs = _obs_active()
         observed = obs is not None
-        completions: queue.Queue = queue.Queue()
         timed: list[TimedResult] = []
         dispatch_times: dict[int, float] = {}
         done = 0
@@ -369,7 +499,13 @@ class BatchRunner:
             if job_result.ok and not job_result.cache_hit:
                 self.cache.put(
                     job_result.fingerprint,
-                    replace(job_result, job_index=-1, seconds=None),
+                    replace(
+                        job_result,
+                        job_index=-1,
+                        seconds=None,
+                        attempts=1,
+                        attempt_seconds=None,
+                    ),
                 )
             timed.append(
                 TimedResult(
@@ -383,28 +519,38 @@ class BatchRunner:
             if self.progress is not None:
                 self.progress(done, total, jobs[job_result.job_index], job_result)
 
-        def drain(block: bool) -> None:
-            while True:
-                try:
-                    finished, job_result = completions.get(block=block, timeout=None)
-                except queue.Empty:
-                    return
-                finish(job_result, finished)
-                block = False
+        supervisor = None
+        if self._resilient(jobs) or (self.n_jobs > 1 and total > 1):
+            from ..resilience.supervisor import Supervisor
 
-        pool = None
-        if self.n_jobs > 1 and total > 1:
-            methods = multiprocessing.get_all_start_methods()
-            use_fork = sys.platform == "linux" and "fork" in methods
-            ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
-            pool = ctx.Pool(processes=min(self.n_jobs, total))
-        dispatched = 0
+            supervisor = Supervisor(
+                max(1, min(self.n_jobs, total)),
+                retry=self.retry,
+                timeout=self.timeout,
+                chaos=self.chaos,
+            )
+
+        def settle(poll_timeout: float) -> None:
+            for job_result in supervisor.poll(poll_timeout):
+                finish(job_result, perf_counter() - t_zero)
+
         try:
             for index, job in enumerate(jobs):
                 delay = t_zero + arrivals[index] - perf_counter()
-                if delay > 0:
-                    sleep(delay)
-                drain(block=False)
+                if supervisor is None:
+                    if delay > 0:
+                        sleep(delay)
+                else:
+                    # Wait out the inter-arrival gap *while* settling
+                    # completions, in bounded slices — the poll wakes
+                    # early on any worker event.
+                    while delay > 0:
+                        if supervisor.pending:
+                            settle(min(delay, 0.05))
+                        else:
+                            sleep(delay)
+                        delay = t_zero + arrivals[index] - perf_counter()
+                    settle(0.0)
                 dispatch_times[index] = perf_counter() - t_zero
                 key = job.fingerprint()
                 cached = self.cache.get(key)
@@ -415,42 +561,16 @@ class BatchRunner:
                     )
                     continue
                 payload = (index, job, key, observed)
-                if pool is None:
+                if supervisor is None:
                     job_result = _execute_indexed(payload)
                     finish(job_result, perf_counter() - t_zero)
                 else:
-                    dispatched += 1
-
-                    def on_done(job_result, _t0=t_zero):
-                        completions.put(
-                            (perf_counter() - _t0, job_result)
-                        )
-
-                    def on_error(exc, _index=index, _key=key, _t0=t_zero):
-                        # _execute_indexed formats job failures itself;
-                        # this only fires on infrastructure errors
-                        # (e.g. an unpicklable result).
-                        completions.put(
-                            (
-                                perf_counter() - _t0,
-                                JobResult(
-                                    _index, _key, None, error=repr(exc)
-                                ),
-                            )
-                        )
-
-                    pool.apply_async(
-                        _execute_indexed,
-                        (payload,),
-                        callback=on_done,
-                        error_callback=on_error,
-                    )
+                    supervisor.submit(index, job, key, observed)
             while done < total:
-                drain(block=True)
+                settle(0.25)
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            if supervisor is not None:
+                supervisor.close()
         return timed
 
     def run_or_raise(self, jobs: Sequence[CompileJob]) -> list[JobResult]:

@@ -46,6 +46,7 @@ from .loadgen import (
     load_scenario,
     render_load_report,
 )
+from .resilience import CHAOS_PRESETS, load_fault_plan
 from .eval.figure8 import render_figure8
 from .eval.harness import compare, run_suite
 from .eval.report import render_optimization_table, render_table
@@ -515,6 +516,7 @@ def _cmd_load(args) -> int:
     """Run one load scenario and print/export its LoadReport."""
     try:
         scenario = load_scenario(args.scenario)
+        chaos = load_fault_plan(args.chaos) if args.chaos else None
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
     runner = LoadRunner(
@@ -523,6 +525,9 @@ def _cmd_load(args) -> int:
         seed=args.seed,
         jobs=args.count,
         duration=args.duration,
+        chaos=chaos,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout,
     )
     logger.info(
         "load: scenario %s (%s loop, cache %s)",
@@ -538,11 +543,18 @@ def _cmd_load(args) -> int:
             json.dump(report.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.report_out}")
+    failed = 0
+    lost = report.resilience.get("lost", 0)
+    if report.resilience.get("enabled") and lost:
+        # The invariant chaos runs exist to check: no submitted job may
+        # vanish without a terminal result.
+        logger.error("%d submitted job(s) lost without a terminal result", lost)
+        failed = 1
     if args.soak and not report.passed:
         tripped = ", ".join(trip.name for trip in report.tripped)
         logger.error("soak degradation detected: %s", tripped)
-        return 1
-    return 0
+        failed = 1
+    return failed
 
 
 def _cmd_info(args) -> int:
@@ -761,6 +773,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when a degradation threshold trips (memory "
         "growth, latency drift, throughput sag)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="inject faults from a plan — a preset "
+        f"({', '.join(sorted(CHAOS_PRESETS))}) or a FaultPlan JSON "
+        "file; exits 1 if any job is lost without a terminal result",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's per-job attempt budget "
+        "(1 = no retries)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the scenario's per-job wall-clock budget",
     )
     p.add_argument(
         "--report-out",

@@ -44,6 +44,12 @@ class LoadReport:
     #: Soak verdicts (always present; the CLI gates on them only with
     #: ``--soak``).
     soak: list[Trip] = field(default_factory=list)
+    #: Resilience summary: ``{"enabled", "chaos", "max_attempts",
+    #: "job_timeout", "submitted", "lost", "retries", "timeouts",
+    #: "worker_deaths", "quarantined", "injected", "cache_corrupt",
+    #: "outcomes"}``.  ``lost`` must be 0: every submitted job owes a
+    #: terminal result, chaos or not.
+    resilience: dict = field(default_factory=dict)
 
     @property
     def tripped(self) -> list[Trip]:
@@ -71,6 +77,7 @@ class LoadReport:
                 "passed": self.passed,
                 "trips": [trip.to_dict() for trip in self.soak],
             },
+            "resilience": self.resilience,
             "metrics": self.metrics,
         }
 
@@ -100,6 +107,34 @@ def render_load_report(report: LoadReport) -> str:
         f"{counts['cache_misses']} misses "
         f"({report.cache['hit_rate'] * 100.0:.0f}% hit rate)",
     ]
+    resilience = report.resilience
+    if resilience.get("enabled"):
+        injected = resilience.get("injected") or {}
+        injected_text = (
+            ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(injected.items())
+            )
+            or "none"
+        )
+        outcomes = resilience.get("outcomes") or {}
+        outcome_text = (
+            ", ".join(
+                f"{count} {name}" for name, count in sorted(outcomes.items())
+            )
+            or "-"
+        )
+        lines.append(
+            f"  resilience {resilience.get('lost', 0)} lost / "
+            f"{resilience.get('submitted', 0)} submitted, "
+            f"{resilience.get('retries', 0)} retries, "
+            f"{resilience.get('timeouts', 0)} timeouts, "
+            f"{resilience.get('worker_deaths', 0)} worker deaths, "
+            f"{resilience.get('quarantined', 0)} quarantined"
+        )
+        lines.append(
+            f"  chaos      injected: {injected_text}; cache corrupt: "
+            f"{resilience.get('cache_corrupt', 0)}; outcomes: {outcome_text}"
+        )
     rss_start = report.memory.get("start_kb")
     rss_end = report.memory.get("end_kb")
     if rss_start is not None and rss_end is not None:

@@ -34,6 +34,8 @@ from time import perf_counter
 
 from .. import obs
 from ..batch.runner import BatchRunner, TimedResult
+from ..resilience.faults import FaultPlan
+from ..resilience.policy import RetryPolicy
 from .report import LoadReport
 from .sampling import Sampler
 from .scenario import Scenario
@@ -57,6 +59,7 @@ class _Record:
     ok: bool
     cache_hit: bool
     latency: float
+    outcome: str = "ok"
 
 
 class LoadRunner:
@@ -64,8 +67,10 @@ class LoadRunner:
 
     Overrides (all optional) replace the scenario's own values:
     ``consumers``, ``seed``, ``jobs`` (a job count; clears a preset
-    duration), ``duration`` (seconds; clears a preset count).
-    ``thresholds`` tune the soak detectors.
+    duration), ``duration`` (seconds; clears a preset count),
+    ``chaos`` (a :class:`FaultPlan`), ``max_attempts`` and
+    ``job_timeout`` (resilience knobs).  ``thresholds`` tune the soak
+    detectors.
     """
 
     def __init__(
@@ -76,6 +81,9 @@ class LoadRunner:
         jobs: int | None = None,
         duration: float | None = None,
         thresholds: SoakThresholds | None = None,
+        chaos: FaultPlan | None = None,
+        max_attempts: int | None = None,
+        job_timeout: float | None = None,
     ) -> None:
         overrides: dict = {}
         if consumers is not None:
@@ -88,6 +96,12 @@ class LoadRunner:
         elif duration is not None:
             overrides["duration"] = duration
             overrides["jobs"] = None
+        if chaos is not None:
+            overrides["chaos"] = chaos
+        if max_attempts is not None:
+            overrides["max_attempts"] = max_attempts
+        if job_timeout is not None:
+            overrides["job_timeout"] = job_timeout
         self.scenario = (
             replace(scenario, **overrides) if overrides else scenario
         )
@@ -141,8 +155,31 @@ class LoadRunner:
                 BatchRunner(
                     n_jobs=scenario.consumers, cache=cache_dir
                 ).run(prewarm_jobs)
+        retry = None
+        if scenario.max_attempts > 1:
+            retry = RetryPolicy(
+                max_attempts=scenario.max_attempts, seed=scenario.seed
+            )
+        cache = cache_dir
+        if (
+            cache_dir is not None
+            and scenario.chaos is not None
+            and (
+                scenario.chaos.cache_read_corrupt_rate
+                or scenario.chaos.cache_write_corrupt_rate
+            )
+        ):
+            from ..resilience.cache import ChaosCache
+            from ..batch.cache import ResultCache
+
+            cache = ChaosCache(ResultCache(cache_dir), scenario.chaos)
         runner = BatchRunner(
-            n_jobs=scenario.consumers, cache=cache_dir, progress=progress
+            n_jobs=scenario.consumers,
+            cache=cache,
+            progress=progress,
+            timeout=scenario.job_timeout,
+            retry=retry,
+            chaos=scenario.chaos,
         )
 
         sampler = Sampler(
@@ -151,6 +188,7 @@ class LoadRunner:
         sampler.start()
         t_zero = perf_counter()
         records: list[_Record] = []
+        submitted = 0
         try:
             if count is not None:
                 jobs = (
@@ -158,6 +196,7 @@ class LoadRunner:
                     if prewarm_jobs is not None and len(prewarm_jobs) == count
                     else scenario.draw_jobs(count)
                 )
+                submitted += len(jobs)
                 timed = runner.run_timed(jobs, scenario.arrivals(count))
                 self._collect(records, timed, jobs, offset=0, t_offset=0.0)
             else:
@@ -166,6 +205,7 @@ class LoadRunner:
                 while perf_counter() - t_zero < scenario.duration:
                     t_offset = perf_counter() - t_zero
                     chunk = [next(stream) for _ in range(chunk_size)]
+                    submitted += len(chunk)
                     timed = runner.run_timed(chunk)
                     self._collect(
                         records, timed, chunk,
@@ -174,7 +214,9 @@ class LoadRunner:
         finally:
             wall = perf_counter() - t_zero
             samples = sampler.finish()
-        return self._build_report(observation, records, samples, wall)
+        return self._build_report(
+            observation, records, samples, wall, submitted
+        )
 
     def _chunk_size(self) -> int:
         return max(CHUNK_FACTOR * self.scenario.consumers, 8)
@@ -206,6 +248,7 @@ class LoadRunner:
                     ok=result.ok,
                     cache_hit=result.cache_hit,
                     latency=latency,
+                    outcome=result.outcome,
                 )
             )
 
@@ -218,6 +261,7 @@ class LoadRunner:
         records: list[_Record],
         samples: list[dict],
         wall: float,
+        submitted: int,
     ) -> LoadReport:
         scenario = self.scenario
         metrics = observation.metrics
@@ -295,6 +339,38 @@ class LoadRunner:
             self.thresholds,
         )
 
+        enabled = (
+            scenario.chaos is not None
+            or scenario.job_timeout is not None
+            or scenario.max_attempts > 1
+        )
+        outcomes: dict[str, int] = {}
+        for record in records:
+            outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+        resilience = {
+            "enabled": enabled,
+            "chaos": (
+                scenario.chaos.to_dict() if scenario.chaos is not None else None
+            ),
+            "max_attempts": scenario.max_attempts,
+            "job_timeout": scenario.job_timeout,
+            # The zero-lost invariant: every job handed to the runner
+            # must come back with a terminal result, faults or not.
+            "submitted": submitted,
+            "lost": submitted - len(records),
+            "retries": metrics.counter("batch.retries"),
+            "timeouts": metrics.counter("batch.timeouts"),
+            "worker_deaths": metrics.counter("batch.worker_deaths"),
+            "quarantined": metrics.counter("batch.quarantined"),
+            "injected": {
+                name.removeprefix("chaos.injected."): value
+                for name, value in sorted(metrics.counters.items())
+                if name.startswith("chaos.injected.")
+            },
+            "cache_corrupt": metrics.counter("cache.corrupt"),
+            "outcomes": outcomes,
+        }
+
         return LoadReport(
             scenario=scenario.to_dict(),
             seed=scenario.seed,
@@ -314,4 +390,5 @@ class LoadRunner:
             },
             metrics=metrics.snapshot(),
             soak=trips,
+            resilience=resilience,
         )

@@ -31,6 +31,7 @@ from ..bench.squareroot import squareroot_circuit
 from ..bench.supremacy import supremacy_circuit
 from ..circuits.circuit import Circuit
 from ..compiler.config import CompilerConfig
+from ..resilience.faults import FaultPlan
 
 #: Named paper-suite generators available to ``bench`` workload items.
 #: ``qft``/``qaoa`` honor the item's ``qubits`` knob; the other three
@@ -106,6 +107,17 @@ class Scenario:
     seed: int = 2022
     #: Sampling-loop period and report window width, seconds.
     sample_interval: float = 0.5
+    #: Optional fault-injection plan: run the scenario's traffic
+    #: through the resilient runner while injecting the plan's faults
+    #: (``repro load <scenario> --chaos <plan>``).
+    chaos: FaultPlan | None = None
+    #: Per-job wall-clock budget, seconds; engages the resilient
+    #: runner even without a chaos plan.
+    job_timeout: float | None = None
+    #: Attempt budget per job (1 = no retries).  Chaos runs want this
+    #: above the plan's ``max_faults_per_job`` so every job can reach
+    #: a clean attempt.
+    max_attempts: int = 1
 
     def __post_init__(self) -> None:
         if not self.mix:
@@ -118,6 +130,14 @@ class Scenario:
             raise ValueError("open-loop scenarios need a rate (jobs/s)")
         if self.jobs is None and self.duration is None:
             raise ValueError("scenario needs a job count or a duration")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be > 0, got {self.job_timeout}"
+            )
         for spec in self.machines:
             machine_from_spec(spec)  # fail fast on typos
         for config in self.configs:
@@ -188,6 +208,7 @@ class Scenario:
         data["mix"] = [asdict(item) for item in self.mix]
         data["machines"] = list(self.machines)
         data["configs"] = list(self.configs)
+        # asdict already recursed the chaos plan into a plain dict.
         return data
 
     @classmethod
@@ -200,6 +221,8 @@ class Scenario:
         for key in ("machines", "configs"):
             if key in payload:
                 payload[key] = tuple(payload[key])
+        if isinstance(payload.get("chaos"), dict):
+            payload["chaos"] = FaultPlan.from_dict(payload["chaos"])
         return cls(**payload)
 
 

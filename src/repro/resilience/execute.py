@@ -1,0 +1,101 @@
+"""Worker-side task execution: chaos injection + deadline guard.
+
+:func:`execute_task` is what a :class:`~repro.resilience.pool.SupervisedPool`
+worker runs per task.  It wraps the batch engine's single execution
+path (:func:`repro.batch.runner._execute_indexed`, so the obs-collect
+protocol and failure formatting are byte-for-byte those of the plain
+runner) with the two resilience concerns that must live *inside* the
+worker process:
+
+* **fault injection** — the task's :class:`~repro.resilience.faults.FaultPlan`
+  decides (purely, from the job key and attempt) whether this attempt
+  raises, hard-exits, or stalls;
+* **deadline enforcement** — ``SIGALRM`` arms a wall-clock budget
+  around the attempt; an expiring timer raises
+  :class:`~repro.resilience.faults.JobTimeoutError`, which the
+  executor classifies as a ``timeout`` outcome.  Platforms without
+  ``SIGALRM`` fall back to the parent-side kill in the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+from dataclasses import dataclass
+
+from ..batch.jobs import CompileJob
+from ..batch.runner import JobResult, _execute_indexed
+from .faults import (
+    FAULT_CRASH,
+    INJECTED_EXIT_CODE,
+    FaultPlan,
+    JobTimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One attempt of one job, as shipped to a supervised worker."""
+
+    #: Parent-side submission id (one per job *instance*, stable across
+    #: that instance's retry attempts).
+    task_id: int
+    index: int
+    job: CompileJob
+    key: str
+    observed: bool
+    #: 0-based attempt number (drives the fault decision).
+    attempt: int = 0
+    #: Wall-clock budget, seconds; ``None`` means unbounded.
+    deadline: float | None = None
+    chaos: FaultPlan | None = None
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - signal frame
+    raise JobTimeoutError("job deadline exceeded")
+
+
+def execute_task(task: Task) -> JobResult:
+    """Run one attempt under its fault decision and deadline budget.
+
+    Never raises (an injected ``crash`` fault hard-exits the process
+    instead — that is the point); every other path returns a
+    :class:`JobResult`.
+    """
+    fault = (
+        task.chaos.decide(task.key, task.attempt)
+        if task.chaos is not None
+        else None
+    )
+    if fault == FAULT_CRASH:
+        # A hard worker death: no cleanup, no result, no goodbye —
+        # exactly what a OOM-kill or segfault looks like from the
+        # parent's side of the pipe.
+        os._exit(INJECTED_EXIT_CODE)
+    armed = task.deadline is not None and hasattr(signal, "SIGALRM")
+    if armed:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, task.deadline)
+    try:
+        return _execute_indexed(
+            (task.index, task.job, task.key, task.observed),
+            fault=fault,
+            chaos=task.chaos,
+        )
+    except BaseException as exc:
+        # _execute_indexed formats job failures itself; reaching here
+        # means the timer fired outside the guarded window (or the
+        # interpreter is being torn down) — still return a record.
+        outcome = "timeout" if isinstance(exc, JobTimeoutError) else "failed"
+        return JobResult(
+            task.index,
+            task.key,
+            None,
+            error=traceback.format_exc(),
+            outcome=outcome,
+        )
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,91 @@
+"""Retry/backoff/quarantine policy for the hardened batch runner.
+
+:class:`RetryPolicy` is the *defense* half of the resilience layer
+(:class:`~repro.resilience.faults.FaultPlan` is the attack half): how
+many attempts a job gets, how long to back off between them, and when
+a job is declared poisoned.  Like the fault plan it is frozen data,
+JSON round-trippable, and its backoff schedule is a pure function of
+``(policy, job key, attempt)`` — seeded jitter, no shared RNG — so a
+retried run is reproducible.
+
+Semantics (DESIGN.md §12):
+
+* ``failed`` / ``timeout`` / ``crashed`` attempts are retried while
+  attempts remain; ``ok`` is terminal, and a genuine compiler error
+  that recurs simply exhausts its attempts and lands as ``failed``.
+* **Poisoned-job rule**: a job whose attempts have killed
+  ``poison_threshold`` workers is marked ``poisoned`` and *never*
+  retried again, whatever its attempt budget says — a job that
+  reliably takes workers down must not be allowed to grind the pool
+  forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from .faults import _draw
+
+#: Attempt outcomes that are eligible for retry.
+RETRYABLE_OUTCOMES = ("failed", "timeout", "crashed")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget, exponential backoff with seeded jitter, and the
+    poisoned-job threshold."""
+
+    #: Total attempts per job (1 = no retries).
+    max_attempts: int = 3
+    #: First backoff delay, seconds; attempt ``n`` (1-based retry
+    #: count) waits ``backoff_base * 2**(n-1)`` before jitter.
+    backoff_base: float = 0.05
+    #: Upper bound on any single backoff delay, seconds.
+    backoff_cap: float = 2.0
+    #: Jitter fraction: the delay is scaled by a deterministic factor
+    #: drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    jitter: float = 0.5
+    #: Worker deaths attributable to one job before it is quarantined.
+    poison_threshold: int = 2
+    #: Seed for the jitter draws (independent of any fault plan seed).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Delay before attempt ``attempt`` (1-based retries) of job
+        ``key``: capped exponential with seeded jitter; pure in all
+        inputs."""
+        if attempt < 1:
+            return 0.0
+        delay = min(
+            self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap
+        )
+        if self.jitter:
+            unit = _draw(self.seed, "backoff", key, attempt)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return min(delay, self.backoff_cap)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able policy document (``from_dict`` round-trips)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        """Build a policy from a :meth:`to_dict`-shaped document."""
+        return cls(**data)

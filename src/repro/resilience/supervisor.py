@@ -1,0 +1,289 @@
+"""Retry, backoff and quarantine orchestration over a SupervisedPool.
+
+:class:`Supervisor` is the policy half of the hardened execution
+layer: it owns per-job attempt state, classifies pool events into
+outcomes (``ok`` / ``failed`` / ``timeout`` / ``crashed``), schedules
+retries on the :class:`~repro.resilience.policy.RetryPolicy` backoff
+curve, quarantines poisoned jobs, and emits the resilience counters
+(``batch.retries`` / ``batch.timeouts`` / ``batch.worker_deaths`` /
+``batch.quarantined`` plus ``chaos.injected.*``) into the active
+observation.
+
+Determinism note: the supervisor never needs the worker to *report*
+an injected fault — :meth:`FaultPlan.decide` is pure in (seed, key,
+attempt), so the parent replays the decision the worker is about to
+make and counts ``chaos.*`` at dispatch time.  This is what keeps the
+injection ledger exact even for ``crash`` faults, where the worker is
+dead before it could say anything.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from time import monotonic, sleep
+
+from ..batch.jobs import CompileJob
+from ..batch.runner import JobResult
+from ..obs import active as _obs_active
+from .execute import Task
+from .faults import FaultPlan
+from .policy import RetryPolicy
+from .pool import EVENT_CRASHED, EVENT_RESULT, SupervisedPool
+
+
+@dataclass
+class _JobState:
+    """Attempt bookkeeping for one submitted job instance."""
+
+    sid: int
+    index: int
+    job: CompileJob
+    key: str
+    observed: bool
+    deadline: float | None
+    attempts_started: int = 0
+    crashes: int = 0
+    attempt_seconds: list[float] = field(default_factory=list)
+    dispatched_at: float = 0.0
+
+
+class Supervisor:
+    """Drive jobs to a terminal :class:`JobResult` despite failures.
+
+    Parameters
+    ----------
+    processes:
+        Worker count for the underlying :class:`SupervisedPool`.
+    retry:
+        Retry/quarantine policy; ``None`` means a single attempt with
+        the default poison threshold.
+    timeout:
+        Default per-job wall-clock budget, seconds; a job's own
+        :attr:`CompileJob.deadline` overrides it.  ``None`` = unbounded.
+    chaos:
+        Optional :class:`FaultPlan` shipped to workers (and replayed
+        parent-side for the injection counters).
+    grace:
+        Extra seconds past the deadline before the parent SIGKILLs the
+        worker (the backstop behind the worker-side SIGALRM guard).
+        Defaults to ``max(0.5, 0.25 * deadline)``.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        chaos: FaultPlan | None = None,
+        grace: float | None = None,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=1)
+        self.timeout = timeout
+        self.chaos = chaos
+        self.grace = grace
+        self.pool = SupervisedPool(processes)
+        self._states: dict[int, _JobState] = {}
+        #: Min-heap of ``(due_monotonic, sid)`` retry launches.
+        self._retry_heap: list[tuple[float, int]] = []
+        self._next_sid = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        index: int,
+        job: CompileJob,
+        key: str,
+        observed: bool,
+    ) -> None:
+        """Accept a job; it *will* reach a terminal result eventually."""
+        deadline = job.deadline if job.deadline is not None else self.timeout
+        state = _JobState(
+            sid=self._next_sid,
+            index=index,
+            job=job,
+            key=key,
+            observed=observed,
+            deadline=deadline,
+        )
+        self._next_sid += 1
+        self._states[state.sid] = state
+        self._launch(state)
+
+    def _launch(self, state: _JobState) -> None:
+        attempt = state.attempts_started
+        state.attempts_started += 1
+        if self.chaos is not None:
+            # Replay the worker's (pure) fault decision to keep the
+            # injection ledger, crash faults included.
+            fault = self.chaos.decide(state.key, attempt)
+            if fault is not None:
+                self._inc("chaos.injected")
+                self._inc(f"chaos.injected.{fault}")
+        kill_after = None
+        if state.deadline is not None:
+            grace = (
+                self.grace
+                if self.grace is not None
+                else max(0.5, 0.25 * state.deadline)
+            )
+            kill_after = state.deadline + grace
+        state.dispatched_at = monotonic()
+        self.pool.submit(
+            Task(
+                task_id=state.sid,
+                index=state.index,
+                job=state.job,
+                key=state.key,
+                observed=state.observed,
+                attempt=attempt,
+                deadline=state.deadline,
+                chaos=self.chaos,
+            ),
+            kill_after,
+        )
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Jobs without a terminal result yet."""
+        return len(self._states)
+
+    def poll(self, timeout: float = 0.25) -> list[JobResult]:
+        """Advance the world for at most ``timeout`` seconds and return
+        any newly *terminal* results (retried attempts stay internal)."""
+        terminals: list[JobResult] = []
+        now = monotonic()
+        self._release_due(now)
+        horizon = max(timeout, 0.0)
+        if self._retry_heap:
+            horizon = min(horizon, max(self._retry_heap[0][0] - now, 0.0))
+        if self.pool.active:
+            events = self.pool.poll(horizon)
+        else:
+            events = []
+            if self._retry_heap and horizon > 0:
+                sleep(horizon)
+        self._release_due(monotonic())
+        for kind, task, job_result in events:
+            terminal = self._absorb(kind, task, job_result)
+            if terminal is not None:
+                terminals.append(terminal)
+        return terminals
+
+    def _release_due(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _due, sid = heapq.heappop(self._retry_heap)
+            self._launch(self._states[sid])
+
+    def _absorb(
+        self,
+        kind: str,
+        task: Task,
+        job_result: JobResult | None,
+    ) -> JobResult | None:
+        """Fold one pool event into job state; return the terminal
+        result if this attempt ended the job."""
+        state = self._states[task.task_id]
+        elapsed = monotonic() - state.dispatched_at
+        if kind == EVENT_RESULT:
+            assert job_result is not None
+            if job_result.metrics is not None:
+                obs = _obs_active()
+                if obs is not None:
+                    obs.metrics.merge(job_result.metrics)
+                job_result = replace(job_result, metrics=None)
+            outcome = job_result.outcome
+            seconds = (
+                job_result.seconds if job_result.seconds is not None else elapsed
+            )
+        elif kind == EVENT_CRASHED:
+            state.crashes += 1
+            self._inc("batch.worker_deaths")
+            outcome = "crashed"
+            seconds = elapsed
+            job_result = JobResult(
+                state.index,
+                state.key,
+                None,
+                error=(
+                    f"worker process died while running attempt "
+                    f"{state.attempts_started} of job {state.key[:12]}"
+                ),
+                outcome="crashed",
+                seconds=seconds,
+            )
+        else:  # EVENT_KILLED
+            state.crashes += 1
+            self._inc("batch.worker_deaths")
+            outcome = "timeout"
+            seconds = elapsed
+            job_result = JobResult(
+                state.index,
+                state.key,
+                None,
+                error=(
+                    f"deadline of {state.deadline:.3g}s exceeded on attempt "
+                    f"{state.attempts_started}; worker killed by supervisor"
+                ),
+                outcome="timeout",
+                seconds=seconds,
+            )
+        if outcome == "timeout":
+            self._inc("batch.timeouts")
+        state.attempt_seconds.append(seconds)
+
+        if outcome == "ok":
+            terminal = True
+        elif state.crashes >= self.retry.poison_threshold:
+            # The poisoned-job rule: a job that keeps taking workers
+            # down is quarantined no matter its remaining budget.
+            outcome = "poisoned"
+            self._inc("batch.quarantined")
+            job_result = replace(
+                job_result,
+                outcome="poisoned",
+                error=(
+                    (job_result.error or "")
+                    + f"\njob quarantined as poisoned after "
+                    f"{state.crashes} worker deaths"
+                ),
+            )
+            terminal = True
+        elif state.attempts_started >= self.retry.max_attempts:
+            terminal = True
+        else:
+            self._inc("batch.retries")
+            due = monotonic() + self.retry.backoff(
+                state.key, state.attempts_started
+            )
+            heapq.heappush(self._retry_heap, (due, state.sid))
+            return None
+        del self._states[state.sid]
+        return replace(
+            job_result,
+            attempts=state.attempts_started,
+            attempt_seconds=tuple(state.attempt_seconds),
+        )
+
+    @staticmethod
+    def _inc(name: str) -> None:
+        obs = _obs_active()
+        if obs is not None:
+            obs.metrics.inc(name)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
