@@ -134,8 +134,11 @@ class ResultCache:
         """Store ``value`` atomically under ``key``."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # ``.part`` suffix: a writer killed mid-write leaves a temp
+        # file that no ``*.pkl`` glob (``__len__``/``clear``) can ever
+        # mistake for an entry (pathlib globs DO match dotfiles).
         fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            dir=path.parent, prefix=".tmp-", suffix=".part"
         )
         try:
             with os.fdopen(fd, "wb") as handle:

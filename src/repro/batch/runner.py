@@ -26,7 +26,9 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import pickle
+import queue
 import sys
+import threading
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
@@ -82,9 +84,11 @@ class JobResult:
     #: the lookup, not the recorded compile).
     seconds: float | None = None
     #: Terminal classification: ``ok`` / ``failed`` / ``timeout`` /
-    #: ``crashed`` / ``poisoned``.  Plain failures and successes are
-    #: set by the worker; ``crashed`` / ``poisoned`` (and parent-kill
-    #: timeouts) only arise under the resilient supervisor.
+    #: ``crashed`` / ``poisoned`` / ``interrupted``.  Plain failures
+    #: and successes are set by the worker; ``crashed`` / ``poisoned``
+    #: (and parent-kill timeouts) only arise under the resilient
+    #: supervisor; ``interrupted`` marks jobs never dispatched because
+    #: the run was interrupted (SIGINT) mid-drain.
     outcome: str = "ok"
     #: Attempts consumed to reach this terminal result (1 = no retry).
     attempts: int = 1
@@ -235,6 +239,18 @@ def _execute_one(
         )
 
 
+def _pool_worker_init() -> None:
+    """Pool-worker initializer: ignore SIGINT (a terminal Ctrl-C hits
+    the whole process group; interruption is the parent's job — see
+    ``BatchRunner``'s ``interrupt`` parameter)."""
+    import signal
+
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
 class BatchRunner:
     """Executes job lists across a worker pool with result caching.
 
@@ -261,12 +277,19 @@ class BatchRunner:
     chaos:
         :class:`~repro.resilience.faults.FaultPlan` to inject faults
         (testing only).  Setting it engages the resilient path.
+    interrupt:
+        Optional :class:`threading.Event`.  Once set (typically by a
+        SIGINT handler), the runner stops dispatching new jobs, drains
+        whatever is already in flight, and marks never-dispatched jobs
+        with outcome ``interrupted`` — a partial-but-accounted-for
+        result list, never a KeyboardInterrupt mid-pool.
+        :attr:`interrupted` reports whether a run was cut short.
 
-    With none of the resilience options set, ``run`` takes the legacy
-    in-process / ``multiprocessing.Pool`` path untouched — the fault
-    machinery is inert by construction, not merely disabled (the
-    ``bench_load`` A/B gate holds the supervised-but-uninjected path
-    to ≤5% overhead on top of that).
+    With none of the resilience options set (and no interrupt event),
+    ``run`` takes the legacy in-process / ``multiprocessing.Pool``
+    path untouched — the fault machinery is inert by construction, not
+    merely disabled (the ``bench_load`` A/B gate holds the
+    supervised-but-uninjected path to ≤5% overhead on top of that).
     """
 
     def __init__(
@@ -277,6 +300,7 @@ class BatchRunner:
         timeout: float | None = None,
         retry: RetryPolicy | None = None,
         chaos: FaultPlan | None = None,
+        interrupt: threading.Event | None = None,
     ) -> None:
         if n_jobs <= 0:
             n_jobs = multiprocessing.cpu_count()
@@ -290,9 +314,25 @@ class BatchRunner:
         self.timeout = timeout
         self.retry = retry
         self.chaos = chaos
+        self.interrupt = interrupt
+        #: True once a run was cut short by the interrupt event.
+        self.interrupted = False
         #: Jobs skipped because an identical job ran earlier in the
         #: same pass (in-run deduplication, not a disk hit).
         self.deduplicated = 0
+
+    def _interrupt_set(self) -> bool:
+        return self.interrupt is not None and self.interrupt.is_set()
+
+    @staticmethod
+    def _interrupted_result(index: int, key: str) -> JobResult:
+        return JobResult(
+            index,
+            key,
+            None,
+            error="run interrupted before this job was dispatched",
+            outcome="interrupted",
+        )
 
     def _resilient(self, jobs: Sequence[CompileJob]) -> bool:
         """Whether this run needs the supervised execution path."""
@@ -363,8 +403,14 @@ class BatchRunner:
                 # from the parent.
                 self._run_supervised(to_run, pending, resolve)
             elif self.n_jobs == 1 or len(to_run) == 1:
-                fresh = map(_execute_indexed, to_run)
-                for job_result in fresh:
+                for payload in to_run:
+                    if self._interrupt_set():
+                        self.interrupted = True
+                        job_result = self._interrupted_result(
+                            payload[0], payload[2]
+                        )
+                    else:
+                        job_result = _execute_indexed(payload)
                     self._finish(job_result, pending, resolve)
             else:
                 # Prefer the cheap fork start only on Linux; macOS
@@ -377,14 +423,64 @@ class BatchRunner:
                     "fork" if use_fork else "spawn"
                 )
                 workers = min(self.n_jobs, len(to_run))
-                with ctx.Pool(processes=workers) as pool:
-                    for job_result in pool.imap_unordered(
-                        _execute_indexed, to_run
-                    ):
-                        self._finish(job_result, pending, resolve)
+                with ctx.Pool(
+                    processes=workers, initializer=_pool_worker_init
+                ) as pool:
+                    if self.interrupt is None:
+                        for job_result in pool.imap_unordered(
+                            _execute_indexed, to_run
+                        ):
+                            self._finish(job_result, pending, resolve)
+                    else:
+                        self._run_pool_interruptible(
+                            pool, workers, to_run, pending, resolve
+                        )
 
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    def _run_pool_interruptible(
+        self,
+        pool,
+        workers: int,
+        to_run: list[tuple[int, CompileJob, str, bool]],
+        pending: dict[str, list[int]],
+        resolve: Callable[[int, JobResult], None],
+    ) -> None:
+        """Pool dispatch with a bounded submission window so an
+        interrupt can stop *queuing* work: in-flight jobs finish, the
+        rest are marked ``interrupted``.  (``imap_unordered`` queues
+        everything upfront — nothing could be withheld.)  The window is
+        two tasks per worker: enough that a finishing worker always has
+        a queued successor, small enough that a drain stays short."""
+        completed: queue.SimpleQueue = queue.SimpleQueue()
+        backlog = list(reversed(to_run))
+        outstanding = 0
+        while backlog or outstanding:
+            while (
+                backlog
+                and outstanding < 2 * workers
+                and not self._interrupt_set()
+            ):
+                pool.apply_async(
+                    _execute_indexed,
+                    (backlog.pop(),),
+                    callback=completed.put,
+                )
+                outstanding += 1
+            if backlog and self._interrupt_set():
+                self.interrupted = True
+                while backlog:
+                    index, _job, key, _observed = backlog.pop()
+                    self._finish(
+                        self._interrupted_result(index, key),
+                        pending,
+                        resolve,
+                    )
+                continue
+            if outstanding:
+                self._finish(completed.get(), pending, resolve)
+                outstanding -= 1
 
     def _run_supervised(
         self,
@@ -403,10 +499,35 @@ class BatchRunner:
             timeout=self.timeout,
             chaos=self.chaos,
         ) as supervisor:
-            for index, job, key, observed in to_run:
-                supervisor.submit(index, job, key, observed)
+            if self.interrupt is None:
+                backlog: list = []
+                for index, job, key, observed in to_run:
+                    supervisor.submit(index, job, key, observed)
+            else:
+                # Interruptible: bounded submission window (as in the
+                # pool path) so a SIGINT drains in-flight work instead
+                # of compiling the whole backlog first.
+                backlog = list(reversed(to_run))
             remaining = len(to_run)
             while remaining:
+                while (
+                    backlog
+                    and supervisor.pending < 2 * workers
+                    and not self._interrupt_set()
+                ):
+                    index, job, key, observed = backlog.pop()
+                    supervisor.submit(index, job, key, observed)
+                if backlog and self._interrupt_set():
+                    self.interrupted = True
+                    while backlog:
+                        index, _job, key, _observed = backlog.pop()
+                        self._finish(
+                            self._interrupted_result(index, key),
+                            pending,
+                            resolve,
+                        )
+                        remaining -= 1
+                    continue
                 for job_result in supervisor.poll(0.25):
                     self._finish(job_result, pending, resolve)
                     remaining -= 1
@@ -536,6 +657,12 @@ class BatchRunner:
 
         try:
             for index, job in enumerate(jobs):
+                if self._interrupt_set():
+                    # Stop submitting; in-flight work settles below and
+                    # never-dispatched jobs get `interrupted` results,
+                    # so the timeline stays fully accounted for.
+                    self.interrupted = True
+                    break
                 delay = t_zero + arrivals[index] - perf_counter()
                 if supervisor is None:
                     if delay > 0:
@@ -566,6 +693,18 @@ class BatchRunner:
                     finish(job_result, perf_counter() - t_zero)
                 else:
                     supervisor.submit(index, job, key, observed)
+            if self.interrupted:
+                while supervisor is not None and supervisor.pending:
+                    settle(0.25)
+                now = perf_counter() - t_zero
+                for index, job in enumerate(jobs):
+                    if index in dispatch_times:
+                        continue
+                    dispatch_times[index] = now
+                    finish(
+                        self._interrupted_result(index, job.fingerprint()),
+                        now,
+                    )
             while done < total:
                 settle(0.25)
         finally:

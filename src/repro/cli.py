@@ -9,8 +9,15 @@ Commands
 ``compile``  compile one benchmark and print its statistics
 ``optimize`` run the post-compilation pass pipeline on one benchmark
 ``sweep``    batch-compile a circuits x machines x configs grid
-``load``     run a load scenario / soak against the batch engine
-``info``     describe the machine model, compiler configs and passes
+``load``     run a load scenario / soak — in-process, or against a
+             live serve endpoint with ``--target``
+``serve``    run the hardened compilation service (HTTP + job queue)
+``info``     describe the machine model, compiler configs, passes and
+             serve presets
+
+``load`` and ``sweep`` handle SIGINT gracefully: the first Ctrl-C
+stops dispatching, drains in-flight work, emits the partial report
+(marked ``interrupted``) and exits 130.
 
 Use ``--full`` (or ``REPRO_FULL=1``) for the complete 120-circuit
 random ensemble.
@@ -19,10 +26,13 @@ random ensemble.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import logging
 import os
+import signal
 import sys
+import threading
 
 from . import __version__, obs
 from .obs.report import render_report
@@ -47,6 +57,14 @@ from .loadgen import (
     render_load_report,
 )
 from .resilience import CHAOS_PRESETS, load_fault_plan
+from .serve import (
+    SERVE_PRESETS,
+    RateLimit,
+    ServeConfig,
+    ServeUnavailable,
+    load_serve_config,
+    run_server,
+)
 from .eval.figure8 import render_figure8
 from .eval.harness import compare, run_suite
 from .eval.report import render_optimization_table, render_table
@@ -393,16 +411,20 @@ def _cmd_sweep(args) -> int:
             status = f"{job_result.result.num_shuttles} shuttles"
         logger.info("[%d/%d] %s: %s", done, total, job.label, status)
 
-    runner = BatchRunner(n_jobs=args.jobs, cache=cache, progress=progress)
     # The sweep always runs observed (metrics only): the summary's cache
     # and per-phase lines read from the registry.  An observation that
     # is already active (--metrics-out) is reused rather than replaced.
-    observation = obs.active()
-    if observation is not None:
-        job_results = runner.run(jobs)
-    else:
-        with obs.observe() as observation:
+    with _graceful_sigint() as interrupt:
+        runner = BatchRunner(
+            n_jobs=args.jobs, cache=cache, progress=progress,
+            interrupt=interrupt,
+        )
+        observation = obs.active()
+        if observation is not None:
             job_results = runner.run(jobs)
+        else:
+            with obs.observe() as observation:
+                job_results = runner.run(jobs)
     records = build_records(jobs, job_results)
 
     headers = [
@@ -463,18 +485,28 @@ def _cmd_sweep(args) -> int:
             "phases: "
             + "  ".join(f"{label} {secs:.2f}s" for label, secs in phases)
         )
-    failures = [r for r in records if not r.ok]
+    interrupted = [r for r in records if r.outcome == "interrupted"]
+    failures = [
+        r for r in records if not r.ok and r.outcome != "interrupted"
+    ]
     if failures:
         print(f"\n{len(failures)} job(s) failed:")
         for record in failures:
             last = record.error.strip().splitlines()[-1]
             print(f"  {record.circuit} @ {record.machine}: {last}")
+    if interrupted:
+        print(
+            f"\nINTERRUPTED: partial sweep — {len(interrupted)} job(s) "
+            "never dispatched (outcome 'interrupted' in the records)"
+        )
     if args.csv:
         write_csv(records, args.csv)
         print(f"wrote {args.csv}")
     if args.json:
         write_json(records, args.json)
         print(f"wrote {args.json}")
+    if interrupted:
+        return 130
     return 1 if failures else 0
 
 
@@ -512,6 +544,38 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _graceful_sigint():
+    """Install a drain-on-SIGINT handler for the duration of a run.
+
+    The first Ctrl-C sets the yielded :class:`threading.Event` —
+    runners stop dispatching, drain in-flight work, and the command
+    exits 130 with a partial-but-marked report instead of a bare
+    traceback.  Off the main thread (in-process test harnesses) signal
+    installation is impossible; the event is still yielded so callers
+    can set it programmatically.
+    """
+    interrupt = threading.Event()
+
+    def _on_sigint(signum, frame) -> None:
+        logger.warning(
+            "SIGINT: draining in-flight work (Ctrl-C again to kill)"
+        )
+        if interrupt.is_set():  # second Ctrl-C: give up gracefully-ness
+            raise KeyboardInterrupt
+        interrupt.set()
+
+    try:
+        previous = signal.signal(signal.SIGINT, _on_sigint)
+    except ValueError:  # not the main thread
+        previous = None
+    try:
+        yield interrupt
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
+
+
 def _cmd_load(args) -> int:
     """Run one load scenario and print/export its LoadReport."""
     try:
@@ -519,23 +583,31 @@ def _cmd_load(args) -> int:
         chaos = load_fault_plan(args.chaos) if args.chaos else None
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
-    runner = LoadRunner(
-        scenario,
-        consumers=args.jobs,
-        seed=args.seed,
-        jobs=args.count,
-        duration=args.duration,
-        chaos=chaos,
-        max_attempts=args.max_attempts,
-        job_timeout=args.job_timeout,
-    )
-    logger.info(
-        "load: scenario %s (%s loop, cache %s)",
-        runner.scenario.name,
-        runner.scenario.mode,
-        runner.scenario.cache,
-    )
-    report = runner.run()
+    with _graceful_sigint() as interrupt:
+        runner = LoadRunner(
+            scenario,
+            consumers=args.jobs,
+            seed=args.seed,
+            jobs=args.count,
+            duration=args.duration,
+            chaos=chaos,
+            max_attempts=args.max_attempts,
+            job_timeout=args.job_timeout,
+            target=args.target,
+            identity=args.identity,
+            interrupt=interrupt,
+        )
+        logger.info(
+            "load: scenario %s (%s loop, cache %s)%s",
+            runner.scenario.name,
+            runner.scenario.mode,
+            runner.scenario.cache,
+            f" against {args.target}" if args.target else "",
+        )
+        try:
+            report = runner.run()
+        except ServeUnavailable as exc:
+            raise SystemExit(f"live mode failed: {exc}")
     print(render_load_report(report))
     if args.report_out:
         os.makedirs(os.path.dirname(args.report_out) or ".", exist_ok=True)
@@ -545,16 +617,67 @@ def _cmd_load(args) -> int:
         print(f"wrote {args.report_out}")
     failed = 0
     lost = report.resilience.get("lost", 0)
-    if report.resilience.get("enabled") and lost:
-        # The invariant chaos runs exist to check: no submitted job may
-        # vanish without a terminal result.
+    if lost:
+        # The invariant load runs exist to check: no submitted job may
+        # vanish without a terminal result — in-process or live.
         logger.error("%d submitted job(s) lost without a terminal result", lost)
         failed = 1
     if args.soak and not report.passed:
         tripped = ", ".join(trip.name for trip in report.tripped)
         logger.error("soak degradation detected: %s", tripped)
         failed = 1
+    if report.interrupted:
+        logger.warning("run interrupted: partial report emitted")
+        return 130
     return failed
+
+
+def _parse_rate_limit(spec: str) -> RateLimit:
+    """``LIMIT/WINDOW`` (e.g. ``30/10``: 30 admissions per 10 s)."""
+    try:
+        limit, _, window = spec.partition("/")
+        return RateLimit(limit=int(limit), window_seconds=float(window))
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad --rate-limit {spec!r} (expected LIMIT/WINDOW_SECONDS, "
+            f"e.g. 30/10): {exc}"
+        )
+
+
+def _cmd_serve(args) -> int:
+    """Run the compilation service until SIGTERM/SIGINT, then drain."""
+    try:
+        config = (
+            load_serve_config(args.config) if args.config else ServeConfig()
+        )
+        config = config.override(
+            workers=args.workers,
+            max_queue_depth=args.queue_depth,
+            rate_limit=(
+                _parse_rate_limit(args.rate_limit)
+                if args.rate_limit
+                else None
+            ),
+            job_timeout=args.job_timeout,
+            max_attempts=args.max_attempts,
+            drain_deadline=args.drain_deadline,
+            job_ttl=args.job_ttl,
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    cache = ResultCache(args.cache_dir) if args.cache_dir else NullCache()
+    return run_server(config, host=args.host, port=args.port, cache=cache)
+
+
+#: The serve API surface, as listed by ``repro info``.
+_SERVE_ENDPOINTS = (
+    ("POST /v1/jobs", "submit a JobSpec -> 202 + job id (429 shed/limit)"),
+    ("GET /v1/jobs/<id>", "job status document"),
+    ("GET /v1/jobs/<id>/result", "artifacts once done (ok jobs only)"),
+    ("GET /v1/config", "the live ServeConfig document"),
+    ("GET /healthz", "liveness - green even under overload"),
+    ("GET /readyz", "readiness - 503 when saturated or draining"),
+)
 
 
 def _cmd_info(args) -> int:
@@ -579,6 +702,14 @@ def _cmd_info(args) -> int:
     print("post-compilation passes (--passes, repro optimize):")
     for name, description in available_passes():
         print(f"  {name}: {description}")
+    print()
+    print("serve endpoints (repro serve):")
+    for route, description in _SERVE_ENDPOINTS:
+        print(f"  {route:<26} {description}")
+    print()
+    print("serve presets (repro serve --config <name>):")
+    for name in sorted(SERVE_PRESETS):
+        print(f"  {name}: {SERVE_PRESETS[name].describe()}")
     return 0
 
 
@@ -802,8 +933,88 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the LoadReport JSON to PATH",
     )
+    p.add_argument(
+        "--target",
+        default=None,
+        metavar="URL",
+        help="live mode: replay the scenario against a running "
+        "'repro serve' endpoint (e.g. http://127.0.0.1:8765) instead "
+        "of executing in-process; shed/rate-limited responses are "
+        "counted as refusals, not errors",
+    )
+    p.add_argument(
+        "--identity",
+        default=None,
+        metavar="NAME",
+        help="live mode: the X-Repro-Identity rate-limit key "
+        "(default loadgen-<seed>)",
+    )
     _add_metrics_out(p)
     p.set_defaults(handler=_cmd_load)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the hardened compilation service (HTTP + job queue)",
+        description=(
+            "Serve compilation over HTTP: bounded admission queue with "
+            "load shedding (429 + Retry-After), per-identity "
+            "sliding-window rate limiting, supervised workers with "
+            "deadlines and retries, health/readiness endpoints, and "
+            "graceful drain on SIGTERM. Presets: "
+            f"{', '.join(sorted(SERVE_PRESETS))}."
+        ),
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        metavar="SPEC",
+        help="a bundled preset "
+        f"({', '.join(sorted(SERVE_PRESETS))}) or a ServeConfig JSON "
+        "file; individual flags below override its fields",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="supervised worker processes",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="admitted-but-unfinished jobs beyond which submissions "
+        "are shed with 429",
+    )
+    p.add_argument(
+        "--rate-limit", default=None, metavar="LIMIT/WINDOW",
+        help="per-identity sliding window, e.g. 30/10 = 30 admissions "
+        "per 10 seconds",
+    )
+    p.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget (a spec's own deadline "
+        "overrides it)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="attempt budget per job (1 = no retries)",
+    )
+    p.add_argument(
+        "--drain-deadline", type=float, default=None, metavar="SECONDS",
+        help="seconds drain mode waits for in-flight jobs before "
+        "hard-stop",
+    )
+    p.add_argument(
+        "--job-ttl", type=float, default=None, metavar="SECONDS",
+        help="seconds a finished job stays fetchable before expiry",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed result cache directory (default: no "
+        "cache)",
+    )
+    _add_metrics_out(p)
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
         "sweep",

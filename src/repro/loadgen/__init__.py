@@ -23,6 +23,7 @@ CLI: ``repro load <scenario>`` (see ``repro load --help`` and the
 bundled presets in :data:`~repro.loadgen.scenario.PRESETS`).
 """
 
+from .live import LiveRunner
 from .report import LoadReport, render_load_report
 from .runner import LoadRunner
 from .sampling import Sampler, rss_kb
@@ -31,6 +32,7 @@ from .soak import SoakThresholds, Trip, evaluate_soak, linear_slope
 
 __all__ = [
     "PRESETS",
+    "LiveRunner",
     "LoadReport",
     "LoadRunner",
     "Sampler",

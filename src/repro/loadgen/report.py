@@ -50,6 +50,13 @@ class LoadReport:
     #: "outcomes"}``.  ``lost`` must be 0: every submitted job owes a
     #: terminal result, chaos or not.
     resilience: dict = field(default_factory=dict)
+    #: Serve endpoint URL for a live-mode run (``repro load --target``);
+    #: ``None`` for in-process runs.
+    target: str | None = None
+    #: True when the run was cut short (SIGINT): the report covers the
+    #: drained prefix of the workload, and never-dispatched jobs carry
+    #: outcome ``interrupted`` in the ledger.
+    interrupted: bool = False
 
     @property
     def tripped(self) -> list[Trip]:
@@ -67,6 +74,8 @@ class LoadReport:
             "scenario": self.scenario,
             "seed": self.seed,
             "consumers": self.consumers,
+            "target": self.target,
+            "interrupted": self.interrupted,
             "duration_seconds": self.duration_seconds,
             "counts": self.counts,
             "throughput": self.throughput,
@@ -95,6 +104,15 @@ def render_load_report(report: LoadReport) -> str:
         f"(seed {report.seed}, {report.consumers} consumers, "
         f"{report.scenario.get('mode', '?')} loop, "
         f"cache {report.cache.get('mode', '?')})",
+    ]
+    if report.target:
+        lines.append(f"  target     {report.target} (live mode)")
+    if report.interrupted:
+        lines.append(
+            "  INTERRUPTED: partial report — submission stopped early, "
+            "in-flight jobs drained"
+        )
+    lines += [
         "",
         f"  jobs       {counts['jobs']} total, {counts['ok']} ok, "
         f"{counts['failed']} failed",

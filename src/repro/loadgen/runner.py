@@ -29,6 +29,7 @@ from __future__ import annotations
 import logging
 import shutil
 import tempfile
+import threading
 from dataclasses import dataclass, replace
 from time import perf_counter
 
@@ -36,6 +37,7 @@ from .. import obs
 from ..batch.runner import BatchRunner, TimedResult
 from ..resilience.faults import FaultPlan
 from ..resilience.policy import RetryPolicy
+from .live import LiveRunner
 from .report import LoadReport
 from .sampling import Sampler
 from .scenario import Scenario
@@ -60,6 +62,10 @@ class _Record:
     cache_hit: bool
     latency: float
     outcome: str = "ok"
+    #: False for server refusals (shed / rate-limited / draining) and
+    #: interrupted never-dispatched jobs — excluded from the latency
+    #: percentiles, which cover *admitted* requests only.
+    admitted: bool = True
 
 
 class LoadRunner:
@@ -71,6 +77,14 @@ class LoadRunner:
     ``chaos`` (a :class:`FaultPlan`), ``max_attempts`` and
     ``job_timeout`` (resilience knobs).  ``thresholds`` tune the soak
     detectors.
+
+    ``target`` switches to **live mode**: the same scenario draws are
+    POSTed to a ``repro serve`` endpoint (see
+    :mod:`repro.loadgen.live`) instead of executed in-process —
+    ``identity`` names the rate-limit key, chaos/cache knobs are the
+    server's business.  ``interrupt`` (a :class:`threading.Event`, set
+    by the CLI's SIGINT handler) stops submission, drains in-flight
+    work, and marks the report ``interrupted``.
     """
 
     def __init__(
@@ -84,6 +98,9 @@ class LoadRunner:
         chaos: FaultPlan | None = None,
         max_attempts: int | None = None,
         job_timeout: float | None = None,
+        target: str | None = None,
+        identity: str | None = None,
+        interrupt: threading.Event | None = None,
     ) -> None:
         overrides: dict = {}
         if consumers is not None:
@@ -106,6 +123,11 @@ class LoadRunner:
             replace(scenario, **overrides) if overrides else scenario
         )
         self.thresholds = thresholds or SoakThresholds()
+        self.target = target
+        self.identity = identity
+        self.interrupt = interrupt
+        #: True once a run was cut short by the interrupt event.
+        self.interrupted = False
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,6 +135,12 @@ class LoadRunner:
     def run(self) -> LoadReport:
         """Execute the scenario; returns the assembled report."""
         scenario = self.scenario
+        if self.target is not None:
+            observation = obs.active()
+            if observation is not None:
+                return self._run_live(observation)
+            with obs.observe() as observation:
+                return self._run_live(observation)
         cache_dir: str | None = None
         try:
             if scenario.cache != "disabled":
@@ -125,6 +153,44 @@ class LoadRunner:
         finally:
             if cache_dir is not None:
                 shutil.rmtree(cache_dir, ignore_errors=True)
+
+    def _run_live(self, observation) -> LoadReport:
+        """Live mode: replay the scenario against a serve endpoint and
+        fold the outcomes onto the same report shape."""
+        live = LiveRunner(
+            self.scenario,
+            self.target,
+            identity=self.identity,
+            interrupt=self.interrupt,
+        )
+        done = {"count": 0}
+        sampler = Sampler(
+            self.scenario.sample_interval, progress=lambda: done["count"]
+        )
+        sampler.start()
+        try:
+            outcomes, wall, submitted = live.run()
+            done["count"] = len(outcomes)
+        finally:
+            samples = sampler.finish()
+        self.interrupted = live.interrupted
+        records = [
+            _Record(
+                index=o.index,
+                label=o.label,
+                arrival=o.arrival,
+                finished=o.finished,
+                ok=o.ok,
+                cache_hit=o.cache_hit,
+                latency=o.latency,
+                outcome=o.outcome,
+                admitted=o.admitted,
+            )
+            for o in sorted(outcomes, key=lambda o: o.index)
+        ]
+        return self._build_report(
+            observation, records, samples, wall, submitted
+        )
 
     def _run_observed(self, observation, cache_dir: str | None) -> LoadReport:
         scenario = self.scenario
@@ -180,6 +246,7 @@ class LoadRunner:
             timeout=scenario.job_timeout,
             retry=retry,
             chaos=scenario.chaos,
+            interrupt=self.interrupt,
         )
 
         sampler = Sampler(
@@ -203,6 +270,8 @@ class LoadRunner:
                 stream = scenario.job_stream()
                 chunk_size = self._chunk_size()
                 while perf_counter() - t_zero < scenario.duration:
+                    if self.interrupt is not None and self.interrupt.is_set():
+                        break
                     t_offset = perf_counter() - t_zero
                     chunk = [next(stream) for _ in range(chunk_size)]
                     submitted += len(chunk)
@@ -214,6 +283,9 @@ class LoadRunner:
         finally:
             wall = perf_counter() - t_zero
             samples = sampler.finish()
+            self.interrupted = runner.interrupted or (
+                self.interrupt is not None and self.interrupt.is_set()
+            )
         return self._build_report(
             observation, records, samples, wall, submitted
         )
@@ -249,6 +321,7 @@ class LoadRunner:
                     cache_hit=result.cache_hit,
                     latency=latency,
                     outcome=result.outcome,
+                    admitted=result.outcome != "interrupted",
                 )
             )
 
@@ -266,18 +339,27 @@ class LoadRunner:
         scenario = self.scenario
         metrics = observation.metrics
         for record in records:
-            metrics.observe("load.latency_seconds", record.latency)
             metrics.inc("load.jobs")
             metrics.inc("load.ok" if record.ok else "load.failed")
             if record.cache_hit:
                 metrics.inc("load.cache_hits")
+            if not record.admitted:
+                # Refusals (shed / rate-limited / draining) and
+                # interrupted never-dispatched jobs: counted, but kept
+                # out of the latency percentiles — those describe the
+                # service experienced by *admitted* requests.
+                metrics.inc("load.refused")
+                continue
+            metrics.observe("load.latency_seconds", record.latency)
 
         ok = sum(1 for r in records if r.ok)
         hits = sum(1 for r in records if r.cache_hit)
+        refused = sum(1 for r in records if not r.admitted)
         counts = {
             "jobs": len(records),
             "ok": ok,
             "failed": len(records) - ok,
+            "refused": refused,
             "cache_hits": hits,
             "cache_misses": len(records) - hits,
         }
@@ -391,4 +473,6 @@ class LoadRunner:
             metrics=metrics.snapshot(),
             soak=trips,
             resilience=resilience,
+            target=self.target,
+            interrupted=self.interrupted,
         )

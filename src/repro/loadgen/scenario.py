@@ -1,9 +1,15 @@
 """Scenario model: declarative traffic for the load harness.
 
 A :class:`Scenario` is plain data (JSON round-trippable) describing a
-traffic experiment; :meth:`Scenario.job_stream` turns it into an
-endless deterministic stream of :class:`~repro.batch.jobs.CompileJob`
-draws, and :meth:`Scenario.draw_jobs` materializes the first ``n``.
+traffic experiment; :meth:`Scenario.spec_stream` turns it into an
+endless deterministic stream of
+:class:`~repro.batch.spec.JobSpec` draws — the JSON wire format the
+serving layer accepts — and :meth:`Scenario.job_stream` resolves each
+spec into a :class:`~repro.batch.jobs.CompileJob` for in-process runs.
+Because both modes expand the *same* spec draws, an in-process run and
+a live ``repro load <scenario> --target http://…`` run submit exactly
+the same workload: one resolves locally, the other resolves inside the
+server, and the content fingerprints agree.
 
 Determinism contract: one ``random.Random(seed)`` instance drives
 every stochastic choice in draw order — workload-item selection,
@@ -19,36 +25,12 @@ import json
 import math
 import random
 from collections.abc import Iterator
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 from ..arch.presets import machine_from_spec
 from ..batch.jobs import CompileJob
-from ..bench.qaoa import qaoa_circuit
-from ..bench.qft import qft_circuit
-from ..bench.quadraticform import quadratic_form_circuit
-from ..bench.random_circuits import random_circuit
-from ..bench.squareroot import squareroot_circuit
-from ..bench.supremacy import supremacy_circuit
-from ..circuits.circuit import Circuit
-from ..compiler.config import CompilerConfig
+from ..batch.spec import BENCH_FACTORIES, CONFIG_FACTORIES, JobSpec
 from ..resilience.faults import FaultPlan
-
-#: Named paper-suite generators available to ``bench`` workload items.
-#: ``qft``/``qaoa`` honor the item's ``qubits`` knob; the other three
-#: are fixed at their paper sizes (their size axes are not a single
-#: qubit count).
-_BENCH_FACTORIES = {
-    "qft": lambda qubits: qft_circuit(qubits or 64),
-    "qaoa": lambda qubits: qaoa_circuit(qubits or 64),
-    "supremacy": lambda qubits: supremacy_circuit(),
-    "squareroot": lambda qubits: squareroot_circuit(),
-    "quadraticform": lambda qubits: quadratic_form_circuit(),
-}
-
-_CONFIG_FACTORIES = {
-    "baseline": CompilerConfig.baseline,
-    "optimized": CompilerConfig.optimized,
-}
 
 
 @dataclass(frozen=True)
@@ -74,10 +56,10 @@ class WorkloadItem:
             raise ValueError(f"unknown workload kind {self.kind!r}")
         if self.weight <= 0:
             raise ValueError(f"workload weight must be > 0, got {self.weight}")
-        if self.kind == "bench" and self.name not in _BENCH_FACTORIES:
+        if self.kind == "bench" and self.name not in BENCH_FACTORIES:
             raise ValueError(
                 f"unknown bench workload {self.name!r}; "
-                f"choose from {sorted(_BENCH_FACTORIES)}"
+                f"choose from {sorted(BENCH_FACTORIES)}"
             )
         if self.kind == "random" and not self.qubits:
             raise ValueError("random workload items need a qubit count")
@@ -141,46 +123,59 @@ class Scenario:
         for spec in self.machines:
             machine_from_spec(spec)  # fail fast on typos
         for config in self.configs:
-            if config not in _CONFIG_FACTORIES:
+            if config not in CONFIG_FACTORIES:
                 raise ValueError(
                     f"unknown config {config!r}; "
-                    f"choose from {sorted(_CONFIG_FACTORIES)}"
+                    f"choose from {sorted(CONFIG_FACTORIES)}"
                 )
 
     # ------------------------------------------------------------------
     # Deterministic job expansion
     # ------------------------------------------------------------------
-    def job_stream(self, seed: int | None = None) -> Iterator[CompileJob]:
-        """Endless deterministic job draws (see module docstring)."""
+    def spec_stream(self, seed: int | None = None) -> Iterator[JobSpec]:
+        """Endless deterministic :class:`JobSpec` draws — the wire
+        format live mode POSTs to a serve endpoint.
+
+        RNG-consumption note: each draw consumes randomness in the
+        exact order the pre-spec ``job_stream`` did (mix choice →
+        circuit seed → machine → config), and ``random.choice`` /
+        ``choices`` consume by sequence *length* only — so the rebase
+        onto specs preserved every historical workload digest.
+        """
         rng = random.Random(self.seed if seed is None else seed)
-        machines = [machine_from_spec(spec) for spec in self.machines]
-        configs = [_CONFIG_FACTORIES[name]() for name in self.configs]
         weights = [item.weight for item in self.mix]
-        bench_cache: dict[WorkloadItem, Circuit] = {}
         while True:
             item = rng.choices(self.mix, weights=weights)[0]
-            if item.kind == "random":
-                circuit = random_circuit(
-                    item.qubits,
-                    item.gates or 120,
-                    seed=rng.randrange(1 << 30),
-                    family=item.family,
-                )
-            else:
-                circuit = bench_cache.get(item)
-                if circuit is None:
-                    circuit = _BENCH_FACTORIES[item.name](item.qubits)
-                    bench_cache[item] = circuit
-            yield CompileJob(
-                circuit=circuit,
-                machine=rng.choice(machines),
-                config=rng.choice(configs),
-                simulate=self.simulate,
+            circuit_seed = (
+                rng.randrange(1 << 30) if item.kind == "random" else None
             )
+            yield JobSpec(
+                kind=item.kind,
+                machine=rng.choice(self.machines),
+                config=rng.choice(self.configs),
+                name=item.name,
+                qubits=item.qubits,
+                gates=item.gates,
+                seed=circuit_seed,
+                family=item.family,
+                simulate=self.simulate,
+                deadline=self.job_timeout,
+            )
+
+    def job_stream(self, seed: int | None = None) -> Iterator[CompileJob]:
+        """Endless deterministic job draws: :meth:`spec_stream`,
+        resolved (see module docstring)."""
+        for spec in self.spec_stream(seed):
+            yield spec.resolve()
 
     def draw_jobs(self, n: int, seed: int | None = None) -> list[CompileJob]:
         """The first ``n`` draws of :meth:`job_stream`."""
         stream = self.job_stream(seed)
+        return [next(stream) for _ in range(n)]
+
+    def draw_specs(self, n: int, seed: int | None = None) -> list[JobSpec]:
+        """The first ``n`` draws of :meth:`spec_stream`."""
+        stream = self.spec_stream(seed)
         return [next(stream) for _ in range(n)]
 
     def job_count(self) -> int | None:

@@ -24,6 +24,7 @@ and quarantine policy live in :class:`~repro.resilience.supervisor.Supervisor`.
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import sys
 import traceback
 from collections import deque
@@ -47,6 +48,14 @@ def _worker_main(conn) -> None:
     when the result itself will not pickle, which degrades to an
     errored :class:`JobResult` rather than a poisoned pipe.
     """
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group, workers included.  The parent owns interruption (it stops
+    # dispatching and drains); a worker must finish its in-flight task,
+    # not die mid-compile and turn a graceful drain into a crash.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
     while True:
         try:
             task = conn.recv()

@@ -1,0 +1,62 @@
+"""repro.serve — the hardened compilation service.
+
+A stdlib-only HTTP + job-queue layer over the batch engine, designed
+robustness-first:
+
+* **bounded admission** — :class:`CompileService` never queues more
+  than ``max_queue_depth`` jobs; beyond that, submissions are shed
+  with a 429 and a Retry-After derived from observed service times
+  (the server degrades, it never OOMs or blocks accept);
+* **per-identity rate limiting** — a sliding window per token key
+  (``X-Repro-Identity`` header or client address), pure-function
+  window math in :mod:`repro.serve.ratelimit`;
+* **job lifecycle** — submit (202 + job id) → poll status → fetch
+  artifacts; per-job deadlines propagate into
+  :attr:`CompileJob.deadline` so the PR-9 supervised pool enforces
+  them, idempotent resubmits dedup through the content-addressed
+  cache, and a housekeeper expires finished jobs;
+* **structured errors** — every failure class maps to the frozen JSON
+  envelope in :mod:`repro.serve.errors` with stable codes;
+* **graceful degradation** — ``/healthz`` (liveness) stays green under
+  overload, ``/readyz`` (readiness) reports saturation and drain;
+  SIGTERM triggers drain mode: stop admitting, finish in-flight,
+  flush metrics, bounded by a drain deadline then hard-stop.
+
+The wire format for jobs is :class:`repro.batch.spec.JobSpec` — the
+same documents :meth:`repro.loadgen.Scenario.spec_stream` draws, which
+is what lets ``repro load <scenario> --target http://…`` replay a
+deterministic scenario against a live server and stay comparable to an
+in-process run.
+
+CLI: ``repro serve`` (see ``repro serve --help``); the bundled queue /
+rate-limit presets are in :data:`repro.serve.config.SERVE_PRESETS` and
+listed by ``repro info``.
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient, ServeUnavailable
+from .config import SERVE_PRESETS, RateLimit, ServeConfig, load_serve_config
+from .errors import ERROR_STATUS, ServeError, error_envelope, outcome_to_code
+from .http import ServerHandle, run_server
+from .ratelimit import SlidingWindowLimiter, window_decision
+from .service import CompileService, JobRecord
+
+__all__ = [
+    "ERROR_STATUS",
+    "SERVE_PRESETS",
+    "CompileService",
+    "JobRecord",
+    "RateLimit",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeUnavailable",
+    "ServerHandle",
+    "SlidingWindowLimiter",
+    "error_envelope",
+    "load_serve_config",
+    "outcome_to_code",
+    "run_server",
+    "window_decision",
+]

@@ -1,0 +1,160 @@
+"""ServeClient: a minimal urllib client for the serve API.
+
+Used by ``repro load --target`` (live-mode load generation) and the
+test suite.  Design choices mirror the robustness story on the server
+side:
+
+* HTTP-level refusals (4xx/5xx) are **data, not exceptions** — a shed
+  or rate-limited response is a normal outcome a load generator must
+  count, so every call returns a :class:`ServeResponse` with the
+  status and the parsed body (the frozen error envelope on failures).
+* Only *transport* failures — connection refused, socket timeouts,
+  unreachable host — raise :class:`ServeUnavailable`; those mean the
+  experiment is invalid, not that the server degraded.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from time import monotonic, sleep
+
+
+class ServeUnavailable(Exception):
+    """The server could not be reached at the transport level."""
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange: status plus parsed JSON body."""
+
+    status: int
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def error_code(self) -> str | None:
+        """The envelope code on failures (``None`` on success)."""
+        error = self.body.get("error") if isinstance(self.body, dict) else None
+        return error.get("code") if isinstance(error, dict) else None
+
+    @property
+    def retry_after(self) -> float | None:
+        """The envelope's ``retry_after`` hint, if any."""
+        error = self.body.get("error") if isinstance(self.body, dict) else None
+        return error.get("retry_after") if isinstance(error, dict) else None
+
+
+class ServeClient:
+    """Talk to one serve endpoint.
+
+    ``identity`` becomes the ``X-Repro-Identity`` header (the server's
+    rate-limit key); ``timeout`` is the per-request socket budget.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        identity: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.identity = identity
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, document: dict | None = None
+    ) -> ServeResponse:
+        headers = {"Content-Type": "application/json"}
+        if self.identity:
+            headers["X-Repro-Identity"] = self.identity
+        data = (
+            json.dumps(document).encode("utf-8")
+            if document is not None
+            else None
+        )
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return ServeResponse(resp.status, _parse(resp.read()))
+        except urllib.error.HTTPError as err:
+            # 4xx/5xx with a body: the server answered — that is data.
+            return ServeResponse(err.code, _parse(err.read()))
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeUnavailable(
+                f"{method} {self.base_url}{path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict) -> ServeResponse:
+        """POST one JobSpec document; 202 + status body on admission,
+        the error envelope (429/503/400) on refusal."""
+        return self.request("POST", "/v1/jobs", spec)
+
+    def status(self, job_id: str) -> ServeResponse:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def artifacts(self, job_id: str) -> ServeResponse:
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def health(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def readiness(self) -> ServeResponse:
+        return self.request("GET", "/readyz")
+
+    def server_config(self) -> ServeResponse:
+        return self.request("GET", "/v1/config")
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> ServeResponse:
+        """Poll status until the job is ``done`` (or ``timeout``
+        seconds pass — then the last status response is returned)."""
+        deadline = monotonic() + timeout
+        while True:
+            response = self.status(job_id)
+            body = response.body
+            if not response.ok or body.get("state") == "done":
+                return response
+            if monotonic() >= deadline:
+                return response
+            sleep(poll_interval)
+
+    def wait_until_up(self, timeout: float = 15.0) -> bool:
+        """Poll ``/healthz`` until the server answers (subprocess
+        startup); ``True`` once reachable within ``timeout``."""
+        deadline = monotonic() + timeout
+        while monotonic() < deadline:
+            try:
+                if self.health().ok:
+                    return True
+            except ServeUnavailable:
+                sleep(0.05)
+        return False
+
+
+def _parse(raw: bytes) -> dict:
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"raw": raw.decode("utf-8", "replace")}
+    return document if isinstance(document, dict) else {"value": document}

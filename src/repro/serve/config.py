@@ -1,0 +1,175 @@
+"""ServeConfig: the service's knobs, JSON round-trippable, with presets.
+
+Every robustness bound the service enforces is declared here — queue
+depth, rate limits, deadlines, TTLs — so a deployment is one document,
+not scattered flags.  ``repro serve --preset <name>`` starts from a
+bundled preset (:data:`SERVE_PRESETS`, also listed by ``repro info``)
+and individual CLI flags override fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+
+from .ratelimit import SlidingWindowLimiter
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """Per-identity sliding-window budget: ``limit`` admissions per
+    ``window_seconds`` (see :mod:`repro.serve.ratelimit`)."""
+
+    limit: int
+    window_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError(f"rate limit must be > 0, got {self.limit}")
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"rate-limit window must be > 0 seconds, "
+                f"got {self.window_seconds}"
+            )
+
+    def limiter(self) -> SlidingWindowLimiter:
+        return SlidingWindowLimiter(self.limit, self.window_seconds)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return f"{self.limit}/{self.window_seconds:g}s per identity"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One service deployment (see the module docstring)."""
+
+    #: Supervised worker processes compiling jobs.
+    workers: int = 2
+    #: Admitted-but-unfinished jobs beyond which submissions shed (429).
+    max_queue_depth: int = 16
+    #: Per-identity sliding window; ``None`` disables rate limiting.
+    rate_limit: RateLimit | None = None
+    #: Default per-job wall-clock budget, seconds (a spec's own
+    #: ``deadline`` overrides it); ``None`` = unbounded.
+    job_timeout: float | None = None
+    #: Attempt budget per job (1 = no retries).
+    max_attempts: int = 1
+    #: Seconds a finished job's record (and artifacts) stays fetchable
+    #: before the housekeeper expires it.
+    job_ttl: float = 600.0
+    #: Housekeeper wake-up period, seconds.
+    housekeeping_interval: float = 0.5
+    #: Seconds drain mode waits for in-flight jobs before hard-stop.
+    drain_deadline: float = 10.0
+    #: Retry-After fallback before any service time has been observed.
+    default_retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be > 0, got {self.job_timeout}"
+            )
+        for name in ("job_ttl", "housekeeping_interval", "drain_deadline",
+                     "default_retry_after"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = asdict(self)  # recurses the rate limit into a plain dict
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        payload = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown serve config field(s): {', '.join(sorted(unknown))}"
+            )
+        if isinstance(payload.get("rate_limit"), dict):
+            payload["rate_limit"] = RateLimit(**payload["rate_limit"])
+        return cls(**payload)
+
+    def override(self, **changes) -> "ServeConfig":
+        """A copy with non-``None`` ``changes`` applied (CLI flags)."""
+        effective = {
+            key: value for key, value in changes.items() if value is not None
+        }
+        return replace(self, **effective) if effective else self
+
+    def describe(self) -> str:
+        """One ``repro info`` line."""
+        limit = str(self.rate_limit) if self.rate_limit else "no rate limit"
+        timeout = (
+            f"{self.job_timeout:g}s timeout"
+            if self.job_timeout
+            else "no timeout"
+        )
+        return (
+            f"{self.workers} workers, queue depth {self.max_queue_depth}, "
+            f"{limit}, {timeout}, {self.max_attempts} attempt(s), "
+            f"drain {self.drain_deadline:g}s"
+        )
+
+
+#: Bundled deployment presets (``repro serve --preset <name>``).
+SERVE_PRESETS: dict[str, ServeConfig] = {
+    # Local development: small everything, fail fast, no limits.
+    "dev": ServeConfig(
+        workers=2,
+        max_queue_depth=8,
+        job_ttl=300.0,
+        drain_deadline=5.0,
+    ),
+    # A steady multi-user front end: rate-limited identities, retries
+    # for transient worker faults, bounded job runtimes.
+    "steady": ServeConfig(
+        workers=4,
+        max_queue_depth=32,
+        rate_limit=RateLimit(limit=30, window_seconds=10.0),
+        job_timeout=60.0,
+        max_attempts=2,
+    ),
+    # Bulk ingestion: deep queue, generous deadlines, coarse limits.
+    "bulk": ServeConfig(
+        workers=8,
+        max_queue_depth=128,
+        rate_limit=RateLimit(limit=200, window_seconds=10.0),
+        job_timeout=300.0,
+        max_attempts=2,
+        job_ttl=1800.0,
+        drain_deadline=30.0,
+    ),
+}
+
+
+def load_serve_config(spec: str) -> ServeConfig:
+    """Resolve a config argument: a preset name or a JSON file path."""
+    preset = SERVE_PRESETS.get(spec)
+    if preset is not None:
+        return preset
+    if spec.endswith(".json"):
+        with open(spec, encoding="utf-8") as handle:
+            return ServeConfig.from_dict(json.load(handle))
+    raise ValueError(
+        f"unknown serve config {spec!r}; choose a preset "
+        f"({', '.join(sorted(SERVE_PRESETS))}) or a .json config file"
+    )

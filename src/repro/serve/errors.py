@@ -1,0 +1,119 @@
+"""The frozen error envelope: stable codes for every failure class.
+
+Every error the service emits — over HTTP or embedded in a failed
+job's status — is one JSON envelope::
+
+    {"error": {"code": "<stable code>", "message": "<human text>",
+               "retry_after": <seconds|null>, "detail": {...}|null}}
+
+The code set and its HTTP status mapping (:data:`ERROR_STATUS`) are
+**frozen**: clients may dispatch on ``code`` and the table only ever
+grows.  ``message`` is for humans and carries no contract;
+machine-relevant context goes in ``detail``.
+
+Codes by failure class:
+
+======================  ======  ==========================================
+code                    status  meaning
+======================  ======  ==========================================
+``validation``          400     malformed/out-of-bounds job spec or body
+``not_found``           404     unknown (or expired) job id / route
+``not_ready``           409     artifacts requested before completion
+``rate_limited``        429     identity exceeded its sliding window
+``shed``                429     admission queue full — load shed
+``draining``            503     server in drain mode, not admitting
+``timeout``             504     job exceeded its deadline (both guards)
+``quarantined``         500     job poisoned (repeated worker deaths)
+``crashed``             500     worker died holding the job
+``internal``            500     any other failure
+======================  ======  ==========================================
+
+429 responses carry ``retry_after`` (also the HTTP ``Retry-After``
+header): for ``rate_limited`` it is exact window math (when the oldest
+in-window arrival expires), for ``shed`` it is an estimate from
+observed service times (queue depth / workers x mean service seconds).
+"""
+
+from __future__ import annotations
+
+#: Frozen code -> HTTP status table (see module docstring).
+ERROR_STATUS: dict[str, int] = {
+    "validation": 400,
+    "not_found": 404,
+    "not_ready": 409,
+    "rate_limited": 429,
+    "shed": 429,
+    "draining": 503,
+    "timeout": 504,
+    "quarantined": 500,
+    "crashed": 500,
+    "internal": 500,
+}
+
+#: Terminal :attr:`JobResult.outcome` -> envelope code (``ok`` has no
+#: error; ``interrupted`` only arises client-side under SIGINT).
+_OUTCOME_CODES = {
+    "failed": "internal",
+    "timeout": "timeout",
+    "crashed": "crashed",
+    "poisoned": "quarantined",
+}
+
+
+def outcome_to_code(outcome: str) -> str:
+    """The envelope code for a failed job's terminal outcome."""
+    return _OUTCOME_CODES.get(outcome, "internal")
+
+
+def error_envelope(
+    code: str,
+    message: str,
+    retry_after: float | None = None,
+    detail: dict | None = None,
+) -> dict:
+    """The frozen envelope document for one error."""
+    if code not in ERROR_STATUS:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after": retry_after,
+            "detail": detail,
+        }
+    }
+
+
+class ServeError(Exception):
+    """One service failure, carrying its envelope.
+
+    The HTTP layer turns any raised ``ServeError`` into the mapped
+    status plus the envelope body (and a ``Retry-After`` header when
+    ``retry_after`` is set); the service layer raises them from
+    admission, lookup and artifact paths.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+        detail: dict | None = None,
+    ) -> None:
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.detail = detail
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def envelope(self) -> dict:
+        """This error as the frozen envelope document."""
+        return error_envelope(
+            self.code, self.message, self.retry_after, self.detail
+        )

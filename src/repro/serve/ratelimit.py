@@ -1,0 +1,123 @@
+"""Per-identity sliding-window rate limiting.
+
+The window math lives in two pure functions — :func:`prune_window` and
+:func:`window_decision` — over an immutable arrival tuple, a clock
+reading, a window width and a limit; the property suite in
+``tests/test_serve_ratelimit.py`` drives them with arbitrary arrival
+sequences and window sizes.  :class:`SlidingWindowLimiter` is the thin
+stateful wrapper the service uses: one arrival tuple per identity,
+mutated only through the pure decision function.
+
+Window semantics (the contract the property suite pins):
+
+* the window is **half-open looking back**: an arrival at time ``t``
+  counts against a decision at time ``now`` iff ``t > now - window``
+  — an arrival exactly ``window`` seconds old has expired;
+* a request is admitted iff strictly fewer than ``limit`` admitted
+  arrivals are inside its window — so no window of width ``window``
+  ever contains more than ``limit`` admissions;
+* a denied request is **not** recorded: rejected traffic cannot starve
+  an identity forever;
+* the returned ``retry_after`` is exact: the time until enough
+  in-window arrivals expire for one admission, so retrying at
+  ``now + retry_after`` (plus epsilon) is guaranteed to be admitted
+  if no other request lands in between.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def prune_window(
+    arrivals: Sequence[float], now: float, window: float
+) -> tuple[float, ...]:
+    """Arrivals still inside the look-back window ``(now - window, now]``.
+
+    Pure; preserves order (arrival tuples are kept sorted by
+    construction, since admissions happen at monotonically increasing
+    ``now`` values).
+    """
+    cutoff = now - window
+    return tuple(t for t in arrivals if t > cutoff)
+
+
+def window_decision(
+    arrivals: Sequence[float],
+    now: float,
+    window: float,
+    limit: int,
+) -> tuple[bool, float, tuple[float, ...]]:
+    """Decide one request against a sliding window.  Pure.
+
+    Returns ``(admitted, retry_after, new_arrivals)``:
+    ``new_arrivals`` is the pruned window including ``now`` when
+    admitted (unchanged but pruned when denied), ``retry_after`` is 0.0
+    on admission and the exact wait until a slot frees on denial.
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be > 0, got {limit}")
+    if window <= 0:
+        raise ValueError(f"window must be > 0 seconds, got {window}")
+    kept = prune_window(arrivals, now, window)
+    if len(kept) < limit:
+        return True, 0.0, kept + (now,)
+    # Denied: len(kept) >= limit.  A retry at time T is admitted when
+    # fewer than `limit` of `kept` remain inside (T - window, T]; the
+    # first such instant is when the (len(kept) - limit + 1)-th oldest
+    # arrival turns exactly `window` old.
+    frees_at = kept[len(kept) - limit] + window
+    return False, max(frees_at - now, 0.0), kept
+
+
+class SlidingWindowLimiter:
+    """Sliding windows keyed by identity (token key or client address).
+
+    Not internally locked — the service calls it under its own lock
+    (one decision is one dict read + one pure function + one dict
+    write, so the critical section stays tiny).
+    """
+
+    def __init__(self, limit: int, window_seconds: float) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be > 0, got {limit}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window must be > 0 seconds, got {window_seconds}"
+            )
+        self.limit = limit
+        self.window_seconds = window_seconds
+        self._windows: dict[str, tuple[float, ...]] = {}
+
+    def check(self, identity: str, now: float) -> tuple[bool, float]:
+        """Decide (and record, if admitted) one request for ``identity``.
+
+        Returns ``(admitted, retry_after)``.
+        """
+        admitted, retry_after, window = window_decision(
+            self._windows.get(identity, ()),
+            now,
+            self.window_seconds,
+            self.limit,
+        )
+        if window:
+            self._windows[identity] = window
+        else:
+            self._windows.pop(identity, None)
+        return admitted, retry_after
+
+    def prune_idle(self, now: float) -> int:
+        """Drop identities whose windows have fully expired (the
+        housekeeper's session-expiry pass); returns how many."""
+        stale = [
+            identity
+            for identity, arrivals in self._windows.items()
+            if not prune_window(arrivals, now, self.window_seconds)
+        ]
+        for identity in stale:
+            del self._windows[identity]
+        return len(stale)
+
+    def __len__(self) -> int:
+        """Identities currently holding a non-empty window."""
+        return len(self._windows)

@@ -1,7 +1,13 @@
 """Batch-engine tests: fingerprints, cache, runner, and the
 serial-vs-batch equivalence regression (cold and warm cache)."""
 
+import os
 import pickle
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
 
 import pytest
 
@@ -251,6 +257,123 @@ class TestCache:
         assert cache.get("ab" + "c" * 62) is None
         assert cache.stats.hits == 0
         assert cache.stats.misses == 1
+
+
+class TestCacheCrashSafety:
+    """A writer killed mid-``put`` must leave the store fully usable:
+    no truncated entry, no phantom count, no quarantine on next read."""
+
+    def test_kill_mid_write_leaves_no_trace(self, tmp_path):
+        key = "ab" + "c" * 62
+        root = tmp_path / "cache"
+        # The child pickles a payload whose tail hard-kills the
+        # process (os._exit skips every finally/atexit), after a body
+        # large enough that partial frames have already hit the disk —
+        # the worst-case torn write.
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.batch.cache import ResultCache
+
+            class Bomb:
+                def __reduce__(self):
+                    os._exit(86)
+
+            cache = ResultCache(sys.argv[1])
+            cache.put(sys.argv[2], [b"x" * (1 << 20), Bomb()])
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(root), key],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 86, proc.stderr
+
+        # The kill really landed mid-write: an orphaned temp file is
+        # on disk...
+        shard = root / key[:2]
+        leftovers = [p.name for p in shard.iterdir()]
+        assert leftovers, "child died before opening its temp file"
+        # ...but it is invisible to the entry globs (the `.part`
+        # suffix regression: pathlib's `*.pkl` DOES match dotfiles).
+        cache = ResultCache(root)
+        assert len(cache) == 0
+        assert key not in cache
+        # The torn write is a clean miss — not a corrupt entry, not a
+        # quarantine.
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 0
+        # And the slot is immediately writable again.
+        cache.put(key, {"value": 7})
+        assert cache.get(key) == {"value": 7}
+        assert len(cache) == 1
+
+
+class TestRunnerInterrupt:
+    def _jobs(self):
+        return paired_jobs(
+            tiny_suite(),
+            tiny_machine(),
+            CompilerConfig.baseline(),
+            CompilerConfig.optimized(),
+        )
+
+    def test_preset_event_interrupts_serial_run(self):
+        event = threading.Event()
+        event.set()
+        runner = BatchRunner(n_jobs=1, interrupt=event)
+        results = runner.run(self._jobs())
+        assert runner.interrupted
+        assert [r.job_index for r in results] == list(range(len(results)))
+        assert all(r.outcome == "interrupted" for r in results)
+        assert all(not r.ok for r in results)
+
+    def test_progress_callback_interrupts_mid_run(self):
+        """Setting the event from the progress hook (how the CLI's
+        SIGINT handler reaches a running batch) stops dispatch after
+        the in-flight job."""
+        event = threading.Event()
+
+        def progress(done, total, job, job_result):
+            event.set()
+
+        runner = BatchRunner(n_jobs=1, progress=progress, interrupt=event)
+        results = runner.run(self._jobs())
+        assert runner.interrupted
+        assert results[0].ok
+        assert {r.outcome for r in results[1:]} == {"interrupted"}
+
+    def test_preset_event_interrupts_pool_run(self):
+        event = threading.Event()
+        event.set()
+        runner = BatchRunner(n_jobs=2, interrupt=event)
+        results = runner.run(self._jobs())
+        assert runner.interrupted
+        assert all(r.outcome == "interrupted" for r in results)
+
+    def test_preset_event_interrupts_run_timed(self):
+        """The timeline path owes every planned arrival a record even
+        when interrupted before the first dispatch."""
+        event = threading.Event()
+        event.set()
+        jobs = self._jobs()
+        runner = BatchRunner(n_jobs=1, interrupt=event)
+        timed = runner.run_timed(jobs)
+        assert runner.interrupted
+        assert len(timed) == len(jobs)
+        assert all(t.result.outcome == "interrupted" for t in timed)
+
+    def test_no_event_means_no_interruption(self):
+        runner = BatchRunner(n_jobs=1)
+        results = runner.run(self._jobs())
+        assert not runner.interrupted
+        assert all(r.ok for r in results)
 
 
 class TestRunner:

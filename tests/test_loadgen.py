@@ -271,7 +271,7 @@ class TestFailedJobAccounting:
         )
         report = LoadRunner(scenario).run()
         assert report.counts == {
-            "jobs": 4, "ok": 0, "failed": 4,
+            "jobs": 4, "ok": 0, "failed": 4, "refused": 0,
             "cache_hits": 0, "cache_misses": 4,
         }
         assert report.latency["count"] == 4  # errored work has latency

@@ -1,0 +1,204 @@
+"""Property suite for the per-identity sliding-window rate limiter.
+
+The window math is two pure functions (`prune_window`,
+`window_decision`) over immutable arrival tuples — so the contract can
+be pinned exhaustively with arbitrary arrival sequences x window sizes
+x limits:
+
+* **never above limit** — no look-back window of width W ever contains
+  more than `limit` admissions, for any arrival process;
+* **always below limit** — a request with strictly fewer than `limit`
+  admitted arrivals in its window is always admitted;
+* **exact boundary** — an arrival exactly `window` seconds old has
+  expired (half-open window);
+* **exact retry_after** — retrying just after `now + retry_after` is
+  admitted, retrying just before is still denied;
+* **denied requests leave no trace** — rejected traffic cannot starve
+  an identity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve.ratelimit import (
+    SlidingWindowLimiter,
+    prune_window,
+    window_decision,
+)
+
+#: (seed, limit, window) grid driving the arbitrary-sequence properties.
+GRID = [
+    (seed, limit, window)
+    for seed in (1, 7, 23)
+    for limit in (1, 2, 5)
+    for window in (0.5, 1.0, 10.0)
+]
+
+
+def _random_arrival_process(rng: random.Random, n: int) -> list[float]:
+    """A monotone clock with bursty and sparse stretches."""
+    now = 0.0
+    out = []
+    for _ in range(n):
+        # Mix dense bursts (far below any window) with long gaps.
+        now += rng.choice([0.0, 0.001, 0.01, 0.1, 0.4, 1.0, 3.0]) * (
+            rng.random() + 0.001
+        )
+        out.append(now)
+    return out
+
+
+class TestPureWindowMath:
+    @pytest.mark.parametrize("seed,limit,window", GRID)
+    def test_never_admits_above_limit(self, seed, limit, window):
+        """For an arbitrary arrival process, every look-back window of
+        width `window` holds at most `limit` admissions."""
+        rng = random.Random(seed)
+        arrivals: tuple[float, ...] = ()
+        admitted_times: list[float] = []
+        for now in _random_arrival_process(rng, 400):
+            ok, retry_after, arrivals = window_decision(
+                arrivals, now, window, limit
+            )
+            if ok:
+                admitted_times.append(now)
+                assert retry_after == 0.0
+            else:
+                assert retry_after > 0.0
+            # The invariant, checked against the full admission
+            # history, not the limiter's own pruned state.
+            in_window = [
+                t for t in admitted_times if t > now - window
+            ]
+            assert len(in_window) <= limit
+
+    @pytest.mark.parametrize("seed,limit,window", GRID)
+    def test_always_admits_below_limit(self, seed, limit, window):
+        """Whenever strictly fewer than `limit` admissions are inside
+        the window, the next request must be admitted."""
+        rng = random.Random(seed)
+        arrivals: tuple[float, ...] = ()
+        admitted_times: list[float] = []
+        for now in _random_arrival_process(rng, 400):
+            in_window = [t for t in admitted_times if t > now - window]
+            ok, _, arrivals = window_decision(arrivals, now, window, limit)
+            if len(in_window) < limit:
+                assert ok, (
+                    f"denied at {now} with only {len(in_window)}"
+                    f"/{limit} in window"
+                )
+            if ok:
+                admitted_times.append(now)
+
+    def test_exact_boundary_expiry(self):
+        """An arrival exactly `window` old has expired (half-open):
+        limit 1, window 10 — a request at t=10 after one at t=0 is
+        admitted; at t=10-eps it is denied."""
+        ok, _, arrivals = window_decision((), 0.0, 10.0, 1)
+        assert ok
+        denied, retry_after, _ = window_decision(
+            arrivals, 10.0 - 1e-9, 10.0, 1
+        )
+        assert not denied
+        assert retry_after == pytest.approx(1e-9, abs=1e-12)
+        ok, _, _ = window_decision(arrivals, 10.0, 10.0, 1)
+        assert ok
+
+    @pytest.mark.parametrize("seed,limit,window", GRID)
+    def test_retry_after_is_exact(self, seed, limit, window):
+        """Retrying at now + retry_after (+ float epsilon, per the
+        documented contract) is admitted; any meaningfully earlier
+        moment (half the wait) is still denied."""
+        eps = 1e-9 * window
+        rng = random.Random(seed)
+        arrivals: tuple[float, ...] = ()
+        for now in _random_arrival_process(rng, 200):
+            ok, retry_after, arrivals = window_decision(
+                arrivals, now, window, limit
+            )
+            if ok:
+                continue
+            # Denied: the hint must be exact in both directions.
+            again_ok, _, _ = window_decision(
+                arrivals, now + retry_after + eps, window, limit
+            )
+            assert again_ok
+            if retry_after > 1e-6:
+                early_ok, _, _ = window_decision(
+                    arrivals, now + retry_after / 2, window, limit
+                )
+                assert not early_ok
+
+    @pytest.mark.parametrize("seed,limit,window", GRID)
+    def test_denied_requests_are_not_recorded(self, seed, limit, window):
+        """A denial never extends the window: state after a denial
+        equals the pruned state before it."""
+        rng = random.Random(seed)
+        arrivals: tuple[float, ...] = ()
+        for now in _random_arrival_process(rng, 200):
+            before = prune_window(arrivals, now, window)
+            ok, _, arrivals = window_decision(arrivals, now, window, limit)
+            if ok:
+                assert arrivals == before + (now,)
+            else:
+                assert arrivals == before
+
+    @pytest.mark.parametrize("seed,limit,window", GRID)
+    def test_state_is_only_in_window_admissions(self, seed, limit, window):
+        """The carried tuple is always sorted and inside the window."""
+        rng = random.Random(seed)
+        arrivals: tuple[float, ...] = ()
+        for now in _random_arrival_process(rng, 200):
+            _, _, arrivals = window_decision(arrivals, now, window, limit)
+            assert list(arrivals) == sorted(arrivals)
+            assert all(t > now - window for t in arrivals)
+            assert len(arrivals) <= limit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_decision((), 0.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            window_decision((), 0.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            SlidingWindowLimiter(0, 1.0)
+        with pytest.raises(ValueError):
+            SlidingWindowLimiter(1, 0.0)
+
+
+class TestSlidingWindowLimiter:
+    def test_identities_are_independent(self):
+        limiter = SlidingWindowLimiter(1, 10.0)
+        assert limiter.check("a", 0.0) == (True, 0.0)
+        ok, retry_after = limiter.check("a", 1.0)
+        assert not ok and retry_after == pytest.approx(9.0)
+        # A different identity has its own window.
+        assert limiter.check("b", 1.0)[0]
+        assert len(limiter) == 2
+
+    def test_burst_then_recovery(self):
+        limiter = SlidingWindowLimiter(3, 1.0)
+        admitted = [limiter.check("id", 0.01 * i)[0] for i in range(10)]
+        assert sum(admitted) == 3
+        assert limiter.check("id", 2.0) == (True, 0.0)
+
+    def test_prune_idle_drops_expired_identities(self):
+        limiter = SlidingWindowLimiter(2, 1.0)
+        limiter.check("old", 0.0)
+        limiter.check("fresh", 9.5)
+        assert len(limiter) == 2
+        assert limiter.prune_idle(10.0) == 1
+        assert len(limiter) == 1
+        # The pruned identity starts clean.
+        assert limiter.check("old", 10.0) == (True, 0.0)
+
+    def test_denied_identity_drains_naturally(self):
+        """Sustained rejected traffic does not keep the identity
+        blocked once its admissions expire."""
+        limiter = SlidingWindowLimiter(1, 1.0)
+        assert limiter.check("id", 0.0)[0]
+        for i in range(1, 10):
+            assert not limiter.check("id", 0.1 * i)[0]
+        assert limiter.check("id", 1.0)[0]
